@@ -1,0 +1,12 @@
+"""Reproduces Figure 3: grouping by type cuts branch divergence; crossover for low-cost txns.
+
+Run: pytest benchmarks/bench_fig03_branch_divergence.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig03_branch_divergence
+
+
+def test_fig03_branch_divergence(figure_runner):
+    result = figure_runner(fig03_branch_divergence)
+    assert result.rows, "experiment produced no series"

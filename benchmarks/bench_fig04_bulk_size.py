@@ -1,0 +1,12 @@
+"""Reproduces Figure 4: TPL falls behind as bulks grow; PART/K-SET stable, K-SET ahead.
+
+Run: pytest benchmarks/bench_fig04_bulk_size.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig04_bulk_size
+
+
+def test_fig04_bulk_size(figure_runner):
+    result = figure_runner(fig04_bulk_size)
+    assert result.rows, "experiment produced no series"

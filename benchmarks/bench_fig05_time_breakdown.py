@@ -1,0 +1,12 @@
+"""Reproduces Figure 5: sort dominates PART/K-SET generation; execution dominates TPL.
+
+Run: pytest benchmarks/bench_fig05_time_breakdown.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig05_time_breakdown
+
+
+def test_fig05_time_breakdown(figure_runner):
+    result = figure_runner(fig05_time_breakdown)
+    assert result.rows, "experiment produced no series"

@@ -1,0 +1,12 @@
+"""Reproduces Figure 6: K-SET stays stable under skew; TPL/PART degrade.
+
+Run: pytest benchmarks/bench_fig06_skew.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig06_skew
+
+
+def test_fig06_skew(figure_runner):
+    result = figure_runner(fig06_skew)
+    assert result.rows, "experiment produced no series"

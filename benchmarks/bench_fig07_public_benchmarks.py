@@ -1,0 +1,12 @@
+"""Reproduces Figure 7: normalized throughput on TM1/TPC-B/TPC-C vs the CPU engine.
+
+Run: pytest benchmarks/bench_fig07_public_benchmarks.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig07_public_benchmarks
+
+
+def test_fig07_public_benchmarks(figure_runner):
+    result = figure_runner(fig07_public_benchmarks)
+    assert result.rows, "experiment produced no series"

@@ -1,0 +1,12 @@
+"""Reproduces Figure 8: strategies on TM1 across scale factors; K-SET wins at scale.
+
+Run: pytest benchmarks/bench_fig08_tm1_strategies.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig08_tm1_strategies
+
+
+def test_fig08_tm1_strategies(figure_runner):
+    result = figure_runner(fig08_tm1_strategies)
+    assert result.rows, "experiment produced no series"

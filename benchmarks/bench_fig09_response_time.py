@@ -1,0 +1,12 @@
+"""Reproduces Figure 9: response time vs throughput on TM1 at 1M tx/s arrivals.
+
+Run: pytest benchmarks/bench_fig09_response_time.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig09_response_tm1
+
+
+def test_fig09_response_tm1(figure_runner):
+    result = figure_runner(fig09_response_tm1)
+    assert result.rows, "experiment produced no series"

@@ -1,0 +1,12 @@
+"""Reproduces Figure 12: radix-pass tuning: grouping cost vs divergence gain.
+
+Run: pytest benchmarks/bench_fig12_grouping_passes.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig12_grouping_passes
+
+
+def test_fig12_grouping_passes(figure_runner):
+    result = figure_runner(fig12_grouping_passes)
+    assert result.rows, "experiment produced no series"

@@ -1,0 +1,12 @@
+"""Reproduces Figure 13: PART partition size: concave curve with interior optimum.
+
+Run: pytest benchmarks/bench_fig13_partition_size.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig13_partition_size
+
+
+def test_fig13_partition_size(figure_runner):
+    result = figure_runner(fig13_partition_size)
+    assert result.rows, "experiment produced no series"

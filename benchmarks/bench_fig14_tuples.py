@@ -1,0 +1,12 @@
+"""Reproduces Figure 14: all strategies gain as the relation grows (fewer conflicts).
+
+Run: pytest benchmarks/bench_fig14_tuples.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig14_tuples
+
+
+def test_fig14_tuples(figure_runner):
+    result = figure_runner(fig14_tuples)
+    assert result.rows, "experiment produced no series"

@@ -1,0 +1,12 @@
+"""Reproduces Figure 15: response time vs throughput on the micro benchmark at 4M tx/s.
+
+Run: pytest benchmarks/bench_fig15_response_micro.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig15_response_micro
+
+
+def test_fig15_response_micro(figure_runner):
+    result = figure_runner(fig15_response_micro)
+    assert result.rows, "experiment produced no series"

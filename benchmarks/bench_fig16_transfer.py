@@ -1,0 +1,12 @@
+"""Reproduces Figure 16: PCIe transfers: one-off initialization vs per-bulk input/output.
+
+Run: pytest benchmarks/bench_fig16_transfer.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig16_transfer
+
+
+def test_fig16_transfer(figure_runner):
+    result = figure_runner(fig16_transfer)
+    assert result.rows, "experiment produced no series"

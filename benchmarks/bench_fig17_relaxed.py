@@ -1,0 +1,12 @@
+"""Reproduces Figure 17: relaxed timestamp constraint: cheaper generation, TPL wins.
+
+Run: pytest benchmarks/bench_fig17_relaxed.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import fig17_relaxed
+
+
+def test_fig17_relaxed(figure_runner):
+    result = figure_runner(fig17_relaxed)
+    assert result.rows, "experiment produced no series"

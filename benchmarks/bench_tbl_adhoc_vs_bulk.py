@@ -1,0 +1,12 @@
+"""Reproduces Section 6.3 table: bulk execution model vs ad-hoc single-core execution (16-146x).
+
+Run: pytest benchmarks/bench_tbl_adhoc_vs_bulk.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import tbl_adhoc_vs_bulk
+
+
+def test_tbl_adhoc_vs_bulk(figure_runner):
+    result = figure_runner(tbl_adhoc_vs_bulk)
+    assert result.rows, "experiment produced no series"

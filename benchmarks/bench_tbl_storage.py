@@ -1,0 +1,12 @@
+"""Reproduces Appendix F.2 table: column vs row storage: device memory and throughput.
+
+Run: pytest benchmarks/bench_tbl_storage.py --benchmark-only -q
+The reproduced series is printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.figures import tbl_storage
+
+
+def test_tbl_storage(figure_runner):
+    result = figure_runner(tbl_storage)
+    assert result.rows, "experiment produced no series"

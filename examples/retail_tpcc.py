@@ -1,0 +1,68 @@
+"""Retail scenario: TPC-C order processing on GPUTx.
+
+Demonstrates the full order lifecycle (new order -> payment -> order
+status -> delivery -> stock level) running as bulks, plus two effects
+specific to partitioned execution:
+
+* with the default single-partition workload, PART runs partition-
+  parallel;
+* with remote payments/items enabled (the TPC-C spec's 15 % / 1 %),
+  cross-partition transactions appear and PART falls back to TPL for
+  the bulk -- the "severe degradation" of Section 5.2, visible in the
+  strategy name and the throughput drop.
+
+Run:  python examples/retail_tpcc.py
+"""
+
+from repro import GPUTx
+from repro.workloads import tpcc
+
+WAREHOUSES = 8
+
+
+def build_db():
+    return tpcc.build_database(
+        WAREHOUSES, customers_per_district=40, n_items=200,
+        init_orders_per_district=10,
+    )
+
+
+def run(specs, label: str) -> None:
+    engine = GPUTx(build_db(), procedures=tpcc.PROCEDURES)
+    engine.submit_many(specs)
+    report = engine.run_bulk(strategy="part")
+    mix = {}
+    for result in report.results:
+        mix[result.type_name] = mix.get(result.type_name, 0) + 1
+    print(f"{label}:")
+    print(f"  strategy used : {report.strategy}")
+    print(f"  throughput    : {report.throughput_ktps:,.0f} ktps")
+    print(f"  committed     : {report.committed}, aborted {report.aborted}")
+    print(f"  mix           : { {k.replace('tpcc_', ''): v for k, v in sorted(mix.items())} }")
+
+
+def main() -> None:
+    local = tpcc.generate_transactions(build_db(), 800, seed=5)
+    run(local, "single-partition workload (remote probabilities = 0)")
+
+    print()
+    remote = tpcc.generate_transactions(
+        build_db(), 800, seed=5,
+        remote_payment_prob=0.15, remote_item_prob=0.01,
+    )
+    run(remote, "spec workload (15% remote payments, 1% remote items)")
+
+    # Show the order pipeline actually moved goods: deliveries shrink
+    # the NEW_ORDER table, new orders grow it.
+    db = build_db()
+    engine = GPUTx(db, procedures=tpcc.PROCEDURES)
+    before = db.table("new_order").live_row_count
+    engine.submit_many(local)
+    engine.run_bulk(strategy="kset", grouping_passes=1)
+    after = db.table("new_order").live_row_count
+    print(f"\nNEW_ORDER rows: {before} -> {after} "
+          "(new orders inserted, deliveries consumed the oldest)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` with build isolation)
+cannot build. This shim enables the legacy editable path::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+Configuration lives in ``pyproject.toml``; this file adds nothing.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""GPUTx reproduction: high-throughput bulk transaction execution on a
+simulated GPU.
+
+Reproduces He & Yu, "High-Throughput Transaction Executions on Graphics
+Processors", PVLDB 4(5), 2011. See DESIGN.md for the system inventory
+and EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import GPUTx
+    from repro.workloads import tpcb
+
+    db = tpcb.build_database(scale_factor=4)
+    engine = GPUTx(db, procedures=tpcb.PROCEDURES)
+    engine.submit_many(tpcb.generate_transactions(db, n=4000, seed=7))
+    report = engine.run_bulk(strategy="kset")
+    print(f"{report.throughput_ktps:.1f} ktps")
+"""
+
+from repro.core.engine import ArrivalReport, GPUTx
+from repro.core.executor import ExecutionResult
+from repro.core.procedure import Access, ProcedureRegistry, TransactionType
+from repro.core.txn import Transaction, TransactionPool, TxnResult
+from repro.cpu.engine import CpuEngine, CpuExecutionResult
+from repro.errors import (
+    ConfigError,
+    DeadlockError,
+    ExecutionError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+from repro.storage.catalog import Database, StoreAdapter
+from repro.storage.schema import ColumnDef, DataType, TableSchema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArrivalReport",
+    "GPUTx",
+    "ExecutionResult",
+    "Access",
+    "ProcedureRegistry",
+    "TransactionType",
+    "Transaction",
+    "TransactionPool",
+    "TxnResult",
+    "CpuEngine",
+    "CpuExecutionResult",
+    "ConfigError",
+    "DeadlockError",
+    "ExecutionError",
+    "ReproError",
+    "SchemaError",
+    "StorageError",
+    "Database",
+    "StoreAdapter",
+    "ColumnDef",
+    "DataType",
+    "TableSchema",
+    "__version__",
+]

@@ -1,0 +1,657 @@
+"""One function per figure/table of the paper's evaluation (Section 6).
+
+Each returns a :class:`~repro.bench.harness.FigureResult` holding the
+same series the paper plots. Sizes are scaled down per the policy in
+DESIGN.md; the *shape* of each result (who wins, by what factor, where
+crossovers fall) is the reproduction target, recorded against the paper
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List
+
+from repro.bench.harness import (
+    FigureResult,
+    run_cpu_batch,
+    run_gpu_bulk,
+    scaled,
+)
+from repro.core.engine import GPUTx
+from repro.gpu.spec import CPU_PRICE_USD, GPU_PRICE_USD
+from repro.workloads import micro, tm1, tpcb, tpcc
+
+
+# ---------------------------------------------------------------------------
+# Micro-benchmark figures.
+# ---------------------------------------------------------------------------
+def fig03_branch_divergence() -> FigureResult:
+    """Figure 3: throughput vs. #branches, with/without grouping."""
+    n_txns = scaled(8_192)
+    n_tuples = scaled(32_768)
+    rows = []
+    for x, label in ((1, "L"), (16, "H")):
+        for branches in (2, 8, 32, 128):
+            procedures = micro.build_procedures(branches, x=x)
+            specs = micro.generate_transactions(
+                n_txns, n_tuples=n_tuples, n_branches=branches, seed=3
+            )
+            build = lambda: micro.build_database(n_tuples)
+            full_passes = max(1, math.ceil(math.log2(branches) / 4))
+            basic = run_gpu_bulk(build, procedures, specs, "kset",
+                                 grouping_passes=0)
+            grouped = run_gpu_bulk(build, procedures, specs, "kset",
+                                   grouping_passes=full_passes)
+            rows.append(
+                (
+                    f"{branches}_{label}",
+                    branches,
+                    label,
+                    basic.throughput_ktps,
+                    grouped.throughput_ktps,
+                    grouped.throughput_ktps / basic.throughput_ktps,
+                )
+            )
+    return FigureResult(
+        figure_id="Fig03",
+        title="Branch divergence: grouping by transaction type",
+        columns=["config", "branches", "cost", "basic_ktps",
+                 "grouped_ktps", "speedup"],
+        rows=rows,
+        notes=[
+            "L: x=1 (low compute), H: x=16 (high compute); paper finds "
+            "grouping wins everywhere for H, and only at larger branch "
+            "counts for L (crossover).",
+        ],
+    )
+
+
+def fig04_bulk_size() -> FigureResult:
+    """Figure 4: TPL/PART/K-SET throughput vs. bulk size.
+
+    The paper fixes the table at 8M tuples while bulks grow to 16M+
+    transactions, i.e. contention *rises* with bulk size; the scaled
+    table is fixed likewise.
+    """
+    n_tuples = scaled(8_192)
+    rows = []
+    for bulk in (scaled(2_048), scaled(8_192), scaled(32_768)):
+        specs = micro.generate_transactions(
+            bulk, n_tuples=n_tuples, n_branches=8, seed=5
+        )
+        procedures = micro.build_procedures(8, x=1)
+        build = lambda: micro.build_database(n_tuples)
+        tpl = run_gpu_bulk(build, procedures, specs, "tpl")
+        part = run_gpu_bulk(build, procedures, specs, "part",
+                            partition_size=8)
+        kset = run_gpu_bulk(build, procedures, specs, "kset")
+        rows.append(
+            (bulk, tpl.throughput_ktps, part.throughput_ktps,
+             kset.throughput_ktps)
+        )
+    return FigureResult(
+        figure_id="Fig04",
+        title="Execution strategies vs. bulk size",
+        columns=["bulk_size", "tpl_ktps", "part_ktps", "kset_ktps"],
+        rows=rows,
+        notes=[
+            "Paper: TPL declines with bulk size (lock contention); PART "
+            "and K-SET stay stable with K-SET slightly ahead.",
+        ],
+    )
+
+
+def fig05_time_breakdown() -> FigureResult:
+    """Figure 5: sort (generation) vs. execution share per strategy.
+
+    Matches the paper's contention regime (~2 transactions per tuple:
+    16M transactions over 8M tuples there, scaled here).
+    """
+    n_tuples = scaled(8_192)
+    bulk = scaled(16_384)
+    specs = micro.generate_transactions(
+        bulk, n_tuples=n_tuples, n_branches=8, seed=7
+    )
+    procedures = micro.build_procedures(8, x=1)
+    build = lambda: micro.build_database(n_tuples)
+    rows = []
+    for strategy in ("tpl", "part", "kset"):
+        result = run_gpu_bulk(build, procedures, specs, strategy)
+        gen = result.breakdown.phases.get("generation", 0.0)
+        execution = result.breakdown.phases.get("execution", 0.0)
+        total = gen + execution
+        rows.append(
+            (
+                strategy,
+                gen * 1e3,
+                execution * 1e3,
+                100.0 * gen / total if total else 0.0,
+                100.0 * execution / total if total else 0.0,
+            )
+        )
+    return FigureResult(
+        figure_id="Fig05",
+        title="Time breakdown: bulk generation (sort) vs. execution",
+        columns=["strategy", "sort_ms", "execution_ms", "sort_pct",
+                 "execution_pct"],
+        rows=rows,
+        notes=[
+            "Paper (16M txns): sort is 66%/70% of PART/K-SET; execution "
+            "is ~70% of TPL.",
+        ],
+    )
+
+
+def fig06_skew() -> FigureResult:
+    """Figure 6: throughput vs. lock-acquisition skew (alpha).
+
+    TPL and PART "naively pick the transactions in the transaction pool
+    as a bulk"; K-SET "extract[s] the 0-set continuously from the
+    transactions in transaction pool" -- i.e. it runs in streaming mode
+    (a few 0-set rounds per bulk, blocked work stays pooled and merges
+    with new arrivals), which is what keeps it stable under skew.
+    """
+    n_tuples = scaled(4_096)
+    bulk = scaled(4_096)
+    procedures = micro.build_procedures(8, x=1)
+    build = lambda: micro.build_database(n_tuples)
+    rows = []
+    for alpha in (0.001, 0.01, 0.05, 0.1):
+        specs = micro.generate_transactions(
+            bulk, n_tuples=n_tuples, n_branches=8, alpha=alpha, seed=9
+        )
+        tpl = run_gpu_bulk(build, procedures, specs, "tpl")
+        part = run_gpu_bulk(build, procedures, specs, "part")
+        # Streaming K-SET: throughput over the first rounds, the regime
+        # sustained while submissions keep refilling the 0-set.
+        engine = GPUTx(build(), procedures=procedures)
+        engine.submit_many(specs)
+        executed = 0
+        seconds = 0.0
+        while executed < int(0.8 * len(specs)) and len(engine.pool):
+            result = engine.run_bulk(strategy="kset", max_rounds=2)
+            executed += len(result.results)
+            seconds += result.seconds
+        kset_ktps = executed / seconds / 1e3 if seconds else 0.0
+        rows.append(
+            (alpha, tpl.throughput_ktps, part.throughput_ktps, kset_ktps)
+        )
+    return FigureResult(
+        figure_id="Fig06",
+        title="Execution strategies vs. workload skew",
+        columns=["alpha", "tpl_ktps", "part_ktps", "kset_ktps"],
+        rows=rows,
+        notes=[
+            "Skew deepens the T-dependency graph; the paper finds K-SET "
+            "the most stable (continuous 0-set extraction), TPL/PART "
+            "degrading with alpha.",
+        ],
+    )
+
+
+def fig12_grouping_passes() -> FigureResult:
+    """Figure 12: grouping/execution breakdown vs. radix passes."""
+    n_tuples = scaled(16_384)
+    bulk = scaled(8_192)
+    branches = 16
+    procedures = micro.build_procedures(branches, x=32)
+    specs = micro.generate_transactions(
+        bulk, n_tuples=n_tuples, n_branches=branches, seed=11
+    )
+    build = lambda: micro.build_database(n_tuples)
+    rows = []
+    for passes in range(0, 5):
+        result = run_gpu_bulk(build, procedures, specs, "kset",
+                              grouping_passes=passes)
+        gen = result.breakdown.phases.get("generation", 0.0)
+        execution = result.breakdown.phases.get("execution", 0.0)
+        rows.append(
+            (
+                passes,
+                min(2 ** (passes * 4), branches),
+                gen * 1e3,
+                execution * 1e3,
+                result.throughput_ktps,
+            )
+        )
+    return FigureResult(
+        figure_id="Fig12",
+        title="Grouping passes: overhead vs. divergence reduction",
+        columns=["passes", "partitions", "grouping_ms", "execution_ms",
+                 "ktps"],
+        rows=rows,
+        notes=[
+            "Paper (x=32, T=16): execution time falls as partitions "
+            "approach the branch count while grouping cost rises; an "
+            "interior optimum emerges.",
+        ],
+    )
+
+
+def fig13_partition_size() -> FigureResult:
+    """Figure 13: PART throughput vs. partition size (concave)."""
+    n_tuples = scaled(32_768)
+    bulk = scaled(16_384)
+    procedures = micro.build_procedures(8, x=16)
+    specs = micro.generate_transactions(
+        bulk, n_tuples=n_tuples, n_branches=8, seed=13
+    )
+    build = lambda: micro.build_database(n_tuples)
+    rows = []
+    for size in (1, 8, 32, 128, 512, 2048):
+        result = run_gpu_bulk(build, procedures, specs, "part",
+                              partition_size=size)
+        rows.append((size, n_tuples // size, result.throughput_ktps))
+    return FigureResult(
+        figure_id="Fig13",
+        title="PART throughput vs. partition size",
+        columns=["partition_size", "n_partitions", "ktps"],
+        rows=rows,
+        notes=[
+            "Paper: a concave curve with the optimum at 128 -- small "
+            "partitions pay sort/boundary overhead, large ones lengthen "
+            "the serial critical path.",
+        ],
+    )
+
+
+def fig14_tuples() -> FigureResult:
+    """Figure 14: throughput vs. relation cardinality."""
+    bulk = scaled(8_192)
+    procedures = micro.build_procedures(8, x=1)
+    rows = []
+    for n_tuples in (scaled(1_024), scaled(4_096), scaled(16_384),
+                     scaled(65_536)):
+        specs = micro.generate_transactions(
+            bulk, n_tuples=n_tuples, n_branches=8, seed=15
+        )
+        build = lambda n=n_tuples: micro.build_database(n)
+        tpl = run_gpu_bulk(build, procedures, specs, "tpl")
+        part = run_gpu_bulk(build, procedures, specs, "part")
+        kset = run_gpu_bulk(build, procedures, specs, "kset")
+        rows.append(
+            (n_tuples, tpl.throughput_ktps, part.throughput_ktps,
+             kset.throughput_ktps)
+        )
+    return FigureResult(
+        figure_id="Fig14",
+        title="Execution strategies vs. number of tuples",
+        columns=["tuples", "tpl_ktps", "part_ktps", "kset_ktps"],
+        rows=rows,
+        notes=[
+            "More tuples = fewer conflicts: all three strategies rise "
+            "(TPL: less lock contention; PART: shorter critical path; "
+            "K-SET: wider 0-set).",
+        ],
+    )
+
+
+def fig15_response_micro() -> FigureResult:
+    """Figure 15: response time vs. throughput (micro, 4M tx/s)."""
+    n_tuples = scaled(16_384)
+    n_txns = scaled(16_384)
+    procedures = micro.build_procedures(8, x=1)
+    specs = micro.generate_transactions(
+        n_txns, n_tuples=n_tuples, n_branches=8, seed=17
+    )
+    # Arrival rate scaled to the simulated engine's capacity (the
+    # paper's 4M tx/s sat near its engine's saturation point).
+    rows = []
+    for interval_ms in (0.02, 0.1, 0.5, 2.0):
+        for strategy in ("tpl", "part", "kset"):
+            engine = GPUTx(micro.build_database(n_tuples),
+                           procedures=procedures)
+            report = engine.simulate_arrivals(
+                specs,
+                arrival_rate_tps=16e6,
+                interval_s=interval_ms * 1e-3,
+                strategy=strategy,
+            )
+            rows.append(
+                (
+                    interval_ms,
+                    strategy,
+                    report.avg_response_s * 1e3,
+                    report.throughput_ktps,
+                )
+            )
+    return FigureResult(
+        figure_id="Fig15",
+        title="Response time vs. throughput (micro benchmark)",
+        columns=["interval_ms", "strategy", "avg_response_ms", "ktps"],
+        rows=rows,
+        notes=[
+            "Paper: throughput peaks once responses pass ~260 ms; TPL "
+            "leads at tiny intervals (small 0-sets), PART/K-SET win as "
+            "bulks grow.",
+        ],
+    )
+
+
+def fig17_relaxed() -> FigureResult:
+    """Figure 17: time breakdown without the timestamp constraint."""
+    n_tuples = scaled(8_192)
+    bulk = scaled(16_384)
+    specs = micro.generate_transactions(
+        bulk, n_tuples=n_tuples, n_branches=8, seed=19
+    )
+    procedures = micro.build_procedures(8, x=1)
+    build = lambda: micro.build_database(n_tuples)
+    rows = []
+    for constrained, relaxed in (
+        ("tpl", "tpl-relaxed"),
+        ("part", "part-relaxed"),
+        ("kset", "kset-relaxed"),
+    ):
+        base = run_gpu_bulk(build, procedures, specs, constrained)
+        fast = run_gpu_bulk(build, procedures, specs, relaxed)
+        rows.append(
+            (
+                constrained,
+                base.breakdown.phases.get("generation", 0.0) * 1e3,
+                base.breakdown.phases.get("execution", 0.0) * 1e3,
+                fast.breakdown.phases.get("generation", 0.0) * 1e3,
+                fast.breakdown.phases.get("execution", 0.0) * 1e3,
+                fast.throughput_ktps,
+            )
+        )
+    return FigureResult(
+        figure_id="Fig17",
+        title="Relaxing the timestamp constraint (Appendix G)",
+        columns=["strategy", "gen_ms", "exec_ms", "relaxed_gen_ms",
+                 "relaxed_exec_ms", "relaxed_ktps"],
+        rows=rows,
+        notes=[
+            "Paper: both bulk generation and execution shrink; with "
+            "cheap locks TPL comes out ahead, reversing Figure 5.",
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public-benchmark figures.
+# ---------------------------------------------------------------------------
+def _tm1_build(sf: int):
+    return lambda: tm1.build_database(sf, subscribers_per_sf=2_000)
+
+
+def _tpcb_build(sf: int):
+    return lambda: tpcb.build_database(sf, accounts_per_branch=25)
+
+
+def _tpcc_build(sf: int):
+    return lambda: tpcc.build_database(
+        sf, customers_per_district=20, n_items=500,
+        init_orders_per_district=6,
+    )
+
+
+_PUBLIC = {
+    "tm1": {
+        "build": _tm1_build,
+        "procedures": tm1.PROCEDURES,
+        "generate": lambda db, n, seed: tm1.generate_transactions(
+            db, n, seed=seed
+        ),
+        "scale_factors": (2, 4, 8),
+        "n_txns": scaled(24_000),
+        "gpu_options": {"strategy": "kset", "grouping_passes": 1},
+        "block_size": 256,
+    },
+    "tpcb": {
+        "build": _tpcb_build,
+        "procedures": tpcb.PROCEDURES,
+        "generate": lambda db, n, seed: tpcb.generate_transactions(
+            db, n, seed=seed
+        ),
+        "scale_factors": (1_024, 2_048, 4_096),
+        "n_txns": scaled(12_000),
+        "gpu_options": {"strategy": "part"},
+        "block_size": 32,
+    },
+    "tpcc": {
+        "build": _tpcc_build,
+        "procedures": tpcc.PROCEDURES,
+        "generate": lambda db, n, seed: tpcc.generate_transactions(
+            db, n, seed=seed
+        ),
+        "scale_factors": (16, 32, 64),
+        "n_txns": scaled(6_000),
+        "gpu_options": {"strategy": "kset", "grouping_passes": 1},
+        "block_size": 32,
+    },
+}
+
+
+def fig07_public_benchmarks() -> FigureResult:
+    """Figure 7: normalized throughput + cost efficiency."""
+    rows = []
+    for name, cfg in _PUBLIC.items():
+        for sf in cfg["scale_factors"]:
+            build = cfg["build"](sf)
+            specs = cfg["generate"](build(), cfg["n_txns"], 21)
+            cpu1 = run_cpu_batch(build, cfg["procedures"], specs, num_cores=1)
+            cpu4 = run_cpu_batch(build, cfg["procedures"], specs)
+            gpu = run_gpu_bulk(
+                build, cfg["procedures"], specs,
+                block_size=cfg["block_size"], **cfg["gpu_options"]
+            )
+            adhoc = run_gpu_bulk(build, cfg["procedures"], specs, "adhoc")
+            cpu1_ktps = cpu1.throughput_ktps
+            gpu_ktps = gpu.throughput_ktps
+            cpu4_ktps = cpu4.throughput_ktps
+            cost_eff = (gpu_ktps / GPU_PRICE_USD) / (
+                cpu4_ktps / CPU_PRICE_USD
+            )
+            rows.append(
+                (
+                    name,
+                    sf,
+                    gpu_ktps / cpu1_ktps,
+                    cpu4_ktps / cpu1_ktps,
+                    adhoc.throughput_ktps / cpu1_ktps,
+                    gpu_ktps / cpu4_ktps,
+                    cost_eff,
+                )
+            )
+    return FigureResult(
+        figure_id="Fig07",
+        title="Public benchmarks: normalized throughput (CPU 1-core = 1)",
+        columns=["benchmark", "scale", "gputx_norm", "cpu_quad_norm",
+                 "gpu_1core_norm", "gputx_vs_quad", "cost_eff_ratio"],
+        rows=rows,
+        notes=[
+            "Paper: GPU single core = 25-50% of a CPU core; GPUTx = "
+            "4-10x the quad-core engine, rising with scale factor; "
+            "throughput/$ improves 52%/214%/98% on TM1/TPC-B/TPC-C.",
+        ],
+    )
+
+
+def fig08_tm1_strategies() -> FigureResult:
+    """Figure 8: the three strategies on TM1 vs. scale factor."""
+    n_txns = scaled(12_000)
+    rows = []
+    for sf in (2, 4, 8):
+        build = _tm1_build(sf)
+        specs = tm1.generate_transactions(build(), n_txns, seed=23)
+        tpl = run_gpu_bulk(build, tm1.PROCEDURES, specs, "tpl")
+        part = run_gpu_bulk(build, tm1.PROCEDURES, specs, "part",
+                            partition_size=4)
+        kset = run_gpu_bulk(build, tm1.PROCEDURES, specs, "kset",
+                            grouping_passes=1)
+        rows.append(
+            (sf, tpl.throughput_ktps, part.throughput_ktps,
+             kset.throughput_ktps)
+        )
+    return FigureResult(
+        figure_id="Fig08",
+        title="TM1: execution strategies vs. scale factor",
+        columns=["scale_factor", "tpl_ktps", "part_ktps", "kset_ktps"],
+        rows=rows,
+        notes=[
+            "Paper: the 0-set grows with scale, K-SET ends up fastest; "
+            "TPL underperforms at every scale factor.",
+        ],
+    )
+
+
+def fig09_response_tm1() -> FigureResult:
+    """Figure 9: response time vs. throughput on TM1 (1M tx/s)."""
+    build = _tm1_build(4)
+    specs = tm1.generate_transactions(build(), scaled(16_000), seed=25)
+    # The paper drives TM1 at 1M tx/s, near its engine's capacity; the
+    # simulated engine is faster, so the arrival rate is scaled to keep
+    # the same load regime (arrivals ~ saturation throughput).
+    rows = []
+    for interval_ms in (0.05, 0.2, 1.0, 5.0):
+        engine = GPUTx(build(), procedures=tm1.PROCEDURES)
+        report = engine.simulate_arrivals(
+            specs,
+            arrival_rate_tps=16e6,
+            interval_s=interval_ms * 1e-3,
+            strategy="kset",
+        )
+        rows.append(
+            (
+                interval_ms,
+                report.avg_response_s * 1e3,
+                report.throughput_ktps,
+                max(report.bulk_sizes),
+            )
+        )
+    return FigureResult(
+        figure_id="Fig09",
+        title="TM1: response time vs. throughput (near-capacity arrivals)",
+        columns=["interval_ms", "avg_response_ms", "ktps", "max_bulk"],
+        rows=rows,
+        notes=[
+            "Paper: throughput rises sharply with the bulk interval and "
+            "peaks once the application tolerates ~534 ms of latency.",
+        ],
+    )
+
+
+def fig16_transfer() -> FigureResult:
+    """Figure 16: host<->device transfer costs on TM1."""
+    build = _tm1_build(4)
+    engine = GPUTx(build(), procedures=tm1.PROCEDURES)
+    init_seconds = engine.initialize_device()
+    specs = tm1.generate_transactions(engine.db, scaled(12_000), seed=27)
+    engine.submit_many(specs)
+    result = engine.run_bulk(strategy="kset")
+    ledger = engine.pcie.ledger
+    execution = result.breakdown.phases.get("execution", 0.0) + \
+        result.breakdown.phases.get("generation", 0.0)
+    rows = [
+        ("initialization", ledger.bytes_by_component["initialization"],
+         init_seconds * 1e3, "-"),
+        ("input", ledger.bytes_by_component.get("input", 0),
+         ledger.seconds_by_component.get("input", 0.0) * 1e3,
+         f"{100 * ledger.seconds_by_component.get('input', 0) / execution:.1f}%"),
+        ("output", ledger.bytes_by_component.get("output", 0),
+         ledger.seconds_by_component.get("output", 0.0) * 1e3,
+         f"{100 * ledger.seconds_by_component.get('output', 0) / execution:.1f}%"),
+    ]
+    return FigureResult(
+        figure_id="Fig16",
+        title="TM1: memory transfer between host and device",
+        columns=["component", "bytes", "ms", "share_of_execution"],
+        rows=rows,
+        notes=[
+            "Paper: initialization is one-off; per-bulk input+output "
+            "contribute less than 5% of total execution time.",
+        ],
+    )
+
+
+def tbl_adhoc_vs_bulk() -> FigureResult:
+    """Section 6.3 claim: bulk execution is 16-146x ad-hoc execution."""
+    rows = []
+    for name in ("tm1", "tpcb"):
+        cfg = _PUBLIC[name]
+        sf = cfg["scale_factors"][1]
+        build = cfg["build"](sf)
+        specs = cfg["generate"](build(), min(cfg["n_txns"], scaled(8_000)), 29)
+        bulk = run_gpu_bulk(
+            build, cfg["procedures"], specs,
+            block_size=cfg["block_size"], **cfg["gpu_options"]
+        )
+        adhoc = run_gpu_bulk(build, cfg["procedures"], specs, "adhoc")
+        adhoc_launch = run_gpu_bulk(
+            build, cfg["procedures"], specs, "adhoc",
+            per_task_launch_overhead=True,
+        )
+        rows.append(
+            (
+                name,
+                bulk.throughput_ktps,
+                adhoc.throughput_ktps,
+                bulk.throughput_ktps / adhoc.throughput_ktps,
+                bulk.throughput_ktps / adhoc_launch.throughput_ktps,
+            )
+        )
+    return FigureResult(
+        figure_id="TblAdhoc",
+        title="Bulk execution model vs. ad-hoc GPU execution",
+        columns=["benchmark", "bulk_ktps", "adhoc_ktps", "speedup",
+                 "speedup_with_per_txn_launch"],
+        rows=rows,
+        notes=["Paper: bulk execution is 16-146x ad-hoc execution."],
+    )
+
+
+def tbl_storage() -> FigureResult:
+    """Appendix F.2: column vs. row storage on TM1."""
+    specs = tm1.generate_transactions(
+        tm1.build_database(2, subscribers_per_sf=2_000), scaled(8_000),
+        seed=31,
+    )
+    rows = []
+    results = {}
+    for layout in ("column", "row"):
+        build = lambda lo=layout: tm1.build_database(
+            2, subscribers_per_sf=2_000, layout=lo
+        )
+        db = build()
+        memory = db.device_bytes_report()
+        result = run_gpu_bulk(build, tm1.PROCEDURES, specs, "kset",
+                              grouping_passes=1)
+        results[layout] = (memory["total"], result.throughput_ktps)
+        rows.append((layout, memory["tables"], memory["indexes"],
+                     memory["total"], result.throughput_ktps))
+    col_mem, col_ktps = results["column"]
+    row_mem, row_ktps = results["row"]
+    return FigureResult(
+        figure_id="TblStorage",
+        title="Column- vs. row-based storage (TM1)",
+        columns=["layout", "table_bytes", "index_bytes", "total_bytes",
+                 "ktps"],
+        rows=rows,
+        notes=[
+            f"Measured: column store uses {100 * (1 - col_mem / row_mem):.0f}% "
+            f"less device memory and is {100 * (col_ktps / row_ktps - 1):.0f}% "
+            "faster. Paper: 27% less memory, ~10% faster.",
+        ],
+    )
+
+
+#: Registry used by the EXPERIMENTS.md generator and the bench files.
+ALL_FIGURES: Dict[str, Callable[[], FigureResult]] = {
+    "fig03": fig03_branch_divergence,
+    "fig04": fig04_bulk_size,
+    "fig05": fig05_time_breakdown,
+    "fig06": fig06_skew,
+    "fig07": fig07_public_benchmarks,
+    "fig08": fig08_tm1_strategies,
+    "fig09": fig09_response_tm1,
+    "fig12": fig12_grouping_passes,
+    "fig13": fig13_partition_size,
+    "fig14": fig14_tuples,
+    "fig15": fig15_response_micro,
+    "fig16": fig16_transfer,
+    "fig17": fig17_relaxed,
+    "tbl_adhoc": tbl_adhoc_vs_bulk,
+    "tbl_storage": tbl_storage,
+}

@@ -1,0 +1,129 @@
+"""Shared machinery for the figure-reproduction benchmarks.
+
+Every experiment in :mod:`repro.bench.figures` returns a
+:class:`FigureResult` -- the series the paper's figure plots, as rows.
+The bench scripts under ``benchmarks/`` print the table and persist it
+under ``benchmarks/results/`` so a full run leaves the whole evaluation
+section on disk.
+
+Scale handling: the paper's experiments run millions of transactions on
+real silicon; the simulator steps micro-ops in Python, so default sizes
+are scaled down (every *ratio* is preserved -- both sides of each
+comparison use one cost model). Set ``REPRO_SCALE=paper`` to multiply
+workload sizes by 8 if you can spare the hours.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.engine import GPUTx
+from repro.core.txn import TransactionPool
+from repro.cpu.engine import CpuEngine
+
+#: Multiplier applied to workload sizes (REPRO_SCALE=paper -> 8).
+SCALE = 8 if os.environ.get("REPRO_SCALE", "").lower() == "paper" else 1
+
+
+def scaled(n: int) -> int:
+    return n * SCALE
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure/table: header + rows + commentary."""
+
+    figure_id: str
+    title: str
+    columns: List[str]
+    rows: List[Sequence[Any]]
+    notes: List[str] = field(default_factory=list)
+
+    def format_table(self) -> str:
+        """Render as a markdown table with the notes below."""
+        widths = [len(c) for c in self.columns]
+        rendered_rows = []
+        for row in self.rows:
+            rendered = [_format_cell(v) for v in row]
+            widths = [max(w, len(r)) for w, r in zip(widths, rendered)]
+            rendered_rows.append(rendered)
+        header = " | ".join(
+            c.ljust(w) for c, w in zip(self.columns, widths)
+        )
+        rule = "-|-".join("-" * w for w in widths)
+        lines = [
+            f"## {self.figure_id}: {self.title}",
+            "",
+            f"| {header} |",
+            f"|-{rule}-|",
+        ]
+        for rendered in rendered_rows:
+            body = " | ".join(r.ljust(w) for r, w in zip(rendered, widths))
+            lines.append(f"| {body} |")
+        if self.notes:
+            lines.append("")
+            for note in self.notes:
+                lines.append(f"- {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[Any]:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def run_gpu_bulk(
+    build_db: Callable[[], Any],
+    procedures,
+    specs,
+    strategy: str,
+    block_size: int = 256,
+    **options: Any,
+):
+    """Build a fresh engine, run one bulk, return the ExecutionResult."""
+    db = build_db()
+    engine = GPUTx(db, procedures=procedures, block_size=block_size)
+    engine.submit_many(specs)
+    return engine.run_bulk(strategy=strategy, **options)
+
+
+def run_cpu_batch(build_db, procedures, specs, num_cores: Optional[int] = None):
+    """Run the same specs through the CPU counterpart."""
+    db = build_db()
+    engine = CpuEngine(db, procedures=procedures, num_cores=num_cores)
+    pool = TransactionPool()
+    txns = [pool.submit(name, params) for name, params in specs]
+    return engine.execute(txns)
+
+
+def throughput_ktps(result) -> float:
+    """ktps of either engine's result object."""
+    if hasattr(result, "throughput_ktps"):
+        return result.throughput_ktps
+    return result.throughput_tps() / 1e3
+
+
+def save_result(result: FigureResult, directory: str = "benchmarks/results") -> str:
+    """Persist the rendered table; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.figure_id.lower()}.md")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(result.format_table())
+        handle.write("\n")
+    return path
+
+
+def collect_all(figure_fns: Dict[str, Callable[[], FigureResult]]) -> List[FigureResult]:
+    """Run a set of figure functions (used by the EXPERIMENTS generator)."""
+    return [fn() for fn in figure_fns.values()]

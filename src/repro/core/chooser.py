@@ -1,0 +1,61 @@
+"""Rule-based execution strategy choice -- Algorithm 1 (Appendix D).
+
+The three strategies trade off differently: K-SET has little runtime
+overhead but needs a wide 0-set to fill the GPU; PART needs
+single-partition transactions and suffers on deep graphs less than TPL
+does on contended locks; TPL is fully general but pays spin-lock
+overhead proportional to contention.
+
+Algorithm 1 verbatim:
+
+1. obtain ``w0`` (size of the 0-set);
+2. if ``w0 >= w0_bar``: return **K-SET**;
+3. else, with ``c`` cross-partition transactions and depth ``d``:
+   if ``c <= c_bar`` or ``d >= d_bar``: return **PART**;
+4. else return **TPL**.
+
+The ``w0_bar`` default follows the paper's guidance that "executing a
+k-set of smaller than M transactions is likely to underutilize the GPU
+computation resource (M is the number of processors on the GPU)", with
+a multiplier for latency hiding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profiler import BulkProfile
+from repro.gpu.spec import C1060, GPUSpec
+
+STRATEGY_TPL = "tpl"
+STRATEGY_PART = "part"
+STRATEGY_KSET = "kset"
+
+
+@dataclass(frozen=True)
+class ChooserThresholds:
+    """Tunable thresholds of Algorithm 1."""
+
+    #: Minimum 0-set width for K-SET to fully utilise the GPU.
+    w0_bar: int = C1060.total_cores * 4
+    #: Maximum tolerable cross-partition transactions for PART.
+    c_bar: int = 0
+    #: Depth beyond which lock contention makes TPL hopeless.
+    d_bar: int = 64
+
+    @classmethod
+    def for_spec(cls, spec: GPUSpec, occupancy: int = 4) -> "ChooserThresholds":
+        return cls(w0_bar=spec.total_cores * occupancy)
+
+
+def choose_strategy(
+    profile: BulkProfile,
+    thresholds: ChooserThresholds | None = None,
+) -> str:
+    """Algorithm 1: pick "kset", "part", or "tpl" for this bulk."""
+    t = thresholds or ChooserThresholds()
+    if profile.w0 >= t.w0_bar:
+        return STRATEGY_KSET
+    if profile.cross_partition <= t.c_bar or profile.depth >= t.d_bar:
+        return STRATEGY_PART
+    return STRATEGY_TPL

@@ -1,0 +1,284 @@
+"""GPUTx: the end-to-end transaction execution engine (Section 3.2).
+
+Ties everything together: transactions are submitted into the pool;
+``run_bulk`` takes a set of them, profiles it, picks (or is told) an
+execution strategy, executes on the simulated GPU, and records results.
+``simulate_arrivals`` reproduces the response-time experiments
+(Figures 9 and 15): transactions arrive uniformly in time, a bulk is
+generated every ``interval`` seconds, and both average response time
+and sustained throughput are reported.
+
+Typical use::
+
+    engine = GPUTx(db, procedures=tm1.PROCEDURES)
+    engine.initialize_device()           # tables+indexes over PCIe
+    engine.submit_many(txns)
+    report = engine.run_bulk(strategy="auto")
+    print(report.throughput_ktps)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.chooser import ChooserThresholds, choose_strategy
+from repro.core.executor import ExecutionResult, StrategyExecutor
+from repro.core.profiler import BulkProfile, BulkProfiler
+from repro.core.procedure import ProcedureRegistry, TransactionType
+from repro.core.strategies.adhoc import AdhocExecutor
+from repro.core.strategies.kset_exec import KsetExecutor
+from repro.core.strategies.part import PartExecutor
+from repro.core.strategies.relaxed import (
+    RelaxedKsetExecutor,
+    RelaxedPartExecutor,
+    RelaxedTplExecutor,
+)
+from repro.core.strategies.tpl import TplExecutor
+from repro.core.txn import ResultPool, Transaction, TransactionPool
+from repro.errors import ConfigError
+from repro.gpu.primitives import PrimitiveLibrary
+from repro.gpu.simt import SIMTEngine
+from repro.gpu.spec import C1060, GPUSpec
+from repro.gpu.transfer import PCIeModel
+from repro.storage.catalog import Database, StoreAdapter
+
+_STRATEGIES = {
+    "tpl": TplExecutor,
+    "part": PartExecutor,
+    "kset": KsetExecutor,
+    "adhoc": AdhocExecutor,
+    "tpl-relaxed": RelaxedTplExecutor,
+    "part-relaxed": RelaxedPartExecutor,
+    "kset-relaxed": RelaxedKsetExecutor,
+}
+
+
+@dataclass
+class ArrivalReport:
+    """Outcome of a response-time simulation (Figures 9, 15)."""
+
+    interval_s: float
+    arrival_rate_tps: float
+    executed: int
+    elapsed_s: float
+    avg_response_s: float
+    max_response_s: float
+    bulk_sizes: List[int] = field(default_factory=list)
+
+    @property
+    def throughput_tps(self) -> float:
+        return self.executed / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def throughput_ktps(self) -> float:
+        return self.throughput_tps / 1e3
+
+
+class GPUTx:
+    """High-throughput bulk transaction execution engine on the GPU."""
+
+    def __init__(
+        self,
+        db: Database,
+        procedures: Optional[Sequence[TransactionType]] = None,
+        *,
+        spec: GPUSpec = C1060,
+        block_size: int = 256,
+        use_undo_logging: bool = True,
+        thresholds: Optional[ChooserThresholds] = None,
+    ) -> None:
+        self.db = db
+        self.spec = spec
+        self.registry = ProcedureRegistry()
+        if procedures:
+            self.registry.register_many(procedures)
+        self.adapter = StoreAdapter(db)
+        self.engine = SIMTEngine(spec, block_size=block_size)
+        self.primitives = PrimitiveLibrary(spec)
+        self.pcie = PCIeModel(spec)
+        self.pool = TransactionPool()
+        self.results = ResultPool()
+        self.profiler = BulkProfiler(self.registry, self.primitives)
+        self.thresholds = thresholds or ChooserThresholds.for_spec(spec)
+        self.use_undo_logging = use_undo_logging
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Registration and submission.
+    # ------------------------------------------------------------------
+    def register(self, txn_type: TransactionType) -> int:
+        """Add a stored procedure to the combined kernel."""
+        return self.registry.register(txn_type)
+
+    def submit(
+        self, type_name: str, params: Iterable[Any], submit_time: float = 0.0
+    ) -> Transaction:
+        return self.pool.submit(type_name, params, submit_time)
+
+    def submit_many(
+        self,
+        transactions: Iterable[Union[Transaction, Tuple[str, tuple]]],
+    ) -> int:
+        """Submit pre-built transactions or (type, params) pairs."""
+        count = 0
+        for txn in transactions:
+            if isinstance(txn, Transaction):
+                self.pool.submit_transaction(txn)
+            else:
+                type_name, params = txn
+                self.pool.submit(type_name, params)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Device initialization (Figure 16's one-off component).
+    # ------------------------------------------------------------------
+    def initialize_device(self) -> float:
+        """Copy tables and indexes to device memory; returns seconds."""
+        report = self.db.device_bytes_report()
+        seconds = self.pcie.initialize(report["total"])
+        self._initialized = True
+        return seconds
+
+    # ------------------------------------------------------------------
+    # Bulk execution.
+    # ------------------------------------------------------------------
+    def make_executor(self, strategy: str, **options: Any) -> StrategyExecutor:
+        """Build a strategy executor sharing this engine's plumbing."""
+        try:
+            cls = _STRATEGIES[strategy]
+        except KeyError:
+            raise ConfigError(
+                f"unknown strategy {strategy!r}; "
+                f"choose from {sorted(_STRATEGIES)}"
+            ) from None
+        return cls(
+            self.registry,
+            self.adapter,
+            self.engine,
+            primitives=self.primitives,
+            pcie=self.pcie,
+            use_undo_logging=self.use_undo_logging,
+            **options,
+        )
+
+    def profile_pool(self, max_txns: Optional[int] = None) -> BulkProfile:
+        """Profile the pending transactions without executing them."""
+        return self.profiler.profile(self.pool.peek(max_txns))
+
+    def run_bulk(
+        self,
+        strategy: str = "auto",
+        max_txns: Optional[int] = None,
+        **options: Any,
+    ) -> ExecutionResult:
+        """Generate one bulk from the pool and execute it.
+
+        ``strategy="auto"`` profiles the bulk and applies Algorithm 1.
+        Strategy-specific options (``grouping_passes``,
+        ``partition_size``, ...) pass through to the executor.
+        """
+        transactions = self.pool.take(max_txns)
+        if not transactions:
+            return ExecutionResult(strategy, [], breakdown=_empty_breakdown())
+        chosen = strategy
+        profile_seconds = 0.0
+        if strategy == "auto":
+            profile = self.profiler.profile(transactions)
+            chosen = choose_strategy(profile, self.thresholds)
+            profile_seconds = profile.gen_seconds
+            options = _filter_options(chosen, options)
+        executor = self.make_executor(chosen, **options)
+        result = executor.execute(transactions)
+        if profile_seconds:
+            result.breakdown.add("profiling", profile_seconds)
+        self.results.record_many(result.results)
+        if result.deferred:
+            self.pool.requeue(result.deferred)
+        return result
+
+    # ------------------------------------------------------------------
+    # Response time vs. throughput simulation (Figures 9, 15).
+    # ------------------------------------------------------------------
+    def simulate_arrivals(
+        self,
+        transactions: Sequence[Tuple[str, tuple]],
+        arrival_rate_tps: float,
+        interval_s: float,
+        strategy: str = "kset",
+        **options: Any,
+    ) -> ArrivalReport:
+        """Feed transactions at a uniform rate, bulk every ``interval_s``.
+
+        Transaction *i* arrives at ``i / rate``. At each interval
+        boundary (or as soon as the GPU frees up, whichever is later)
+        every arrived-but-unexecuted transaction forms a bulk. The
+        response time of a transaction is bulk-finish-time minus its
+        arrival time.
+        """
+        if arrival_rate_tps <= 0 or interval_s <= 0:
+            raise ConfigError("arrival rate and interval must be positive")
+        executor = self.make_executor(strategy, **options)
+        n = len(transactions)
+        arrive = [i / arrival_rate_tps for i in range(n)]
+        submitted = 0
+        clock = 0.0
+        total_response = 0.0
+        max_response = 0.0
+        executed = 0
+        bulk_sizes: List[int] = []
+        next_boundary = interval_s
+        while executed < n:
+            clock = max(clock, next_boundary)
+            next_boundary += interval_s
+            # Admit everything that has arrived by now.
+            while submitted < n and arrive[submitted] <= clock:
+                type_name, params = transactions[submitted]
+                self.pool.submit(type_name, params, submit_time=arrive[submitted])
+                submitted += 1
+            batch = self.pool.take()
+            if not batch:
+                continue
+            result = executor.execute(batch)
+            self.results.record_many(result.results)
+            clock += result.seconds
+            bulk_sizes.append(len(batch))
+            for txn in batch:
+                response = clock - txn.submit_time
+                total_response += response
+                max_response = max(max_response, response)
+            executed += len(batch)
+        # Throughput is measured from the first bulk boundary (when the
+        # engine starts processing) to the last bulk's completion --
+        # the steady-state view of the paper's long-running runs, not
+        # diluted by the initial fill of the pool.
+        return ArrivalReport(
+            interval_s=interval_s,
+            arrival_rate_tps=arrival_rate_tps,
+            executed=executed,
+            elapsed_s=max(clock - interval_s, 1e-12),
+            avg_response_s=total_response / executed if executed else 0.0,
+            max_response_s=max_response,
+            bulk_sizes=bulk_sizes,
+        )
+
+
+def _empty_breakdown():
+    from repro.gpu.costmodel import TimeBreakdown
+
+    return TimeBreakdown()
+
+
+def _filter_options(strategy: str, options: Dict[str, Any]) -> Dict[str, Any]:
+    """Keep only the options the chosen strategy's executor accepts."""
+    allowed = {
+        "tpl": {"grouping_passes"},
+        "part": {"partition_size"},
+        "kset": {"grouping_passes", "max_rounds"},
+        "adhoc": {"per_task_launch_overhead"},
+        "tpl-relaxed": set(),
+        "part-relaxed": {"partition_size"},
+        "kset-relaxed": {"grouping_passes"},
+    }[strategy]
+    return {k: v for k, v in options.items() if k in allowed}

@@ -1,0 +1,238 @@
+"""PART: partition-based bulk execution (Section 5.2).
+
+The H-Store idea on a GPU: the database is horizontally partitioned on
+the workload's partition key; a *single thread* executes each
+partition's transactions sequentially, so no locks are needed inside a
+partition. Parallelism comes from executing many partitions at once.
+Where H-Store *pushes* transactions to worker threads, the GPU uses a
+*pull* model:
+
+1. a map primitive computes each transaction's partition id into P;
+2. P is radix-sorted by partition id (stable, so timestamp order is
+   preserved within a partition);
+3. each GPU thread binary-searches the boundaries of its partition in
+   P and executes its transactions back to back.
+
+The partition size is a tuning knob (Figure 13): ``partition_size``
+coarsens the raw partition key by that factor, trading fewer/longer
+threads (less sorting + boundary overhead, longer critical path)
+against more/shorter ones.
+
+PART "works correctly on single-partitioned transactions. If there are
+cross-partition transactions, we use TPL for execution" -- the executor
+delegates the whole bulk to :class:`~repro.core.strategies.tpl.TplExecutor`
+in that case, exactly the severe degradation the paper describes.
+
+Aborts only affect the aborting transaction (its partition-mates have
+not run yet), so the wrapper rolls its writes back inline and moves on.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.executor import (
+    PHASE_EXECUTION,
+    PHASE_GENERATION,
+    PHASE_TRANSFER_IN,
+    PHASE_TRANSFER_OUT,
+    ExecutionResult,
+    StrategyExecutor,
+)
+from repro.core.strategies.tpl import TplExecutor
+from repro.core.txn import Transaction, TxnResult
+from repro.gpu import ops as op_ir
+from repro.gpu.costmodel import TimeBreakdown
+from repro.gpu.simt import ThreadTask
+
+
+class PartExecutor(StrategyExecutor):
+    """Partitioned single-threaded execution (pull model)."""
+
+    name = "part"
+    #: When True, bulk generation sorts P by partition id (the paper's
+    #: default). The relaxed variant (Appendix G) groups with atomic
+    #: counters + prefix sum instead, skipping the sort.
+    timestamp_constrained = True
+
+    def __init__(self, *args, partition_size: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if partition_size < 1:
+            raise ValueError("partition_size must be >= 1")
+        self.partition_size = partition_size
+
+    # ------------------------------------------------------------------
+    def execute(self, transactions: Sequence[Transaction]) -> ExecutionResult:
+        breakdown = TimeBreakdown()
+        if not transactions:
+            return ExecutionResult(self.name, [], breakdown)
+
+        # Cross-partition transactions force the TPL fallback.
+        partitions: List[Optional[int]] = []
+        for txn in transactions:
+            pid = self.registry.get(txn.type_name).partition_of(txn.params)
+            partitions.append(pid)
+        if any(pid is None for pid in partitions):
+            fallback = TplExecutor(
+                self.registry,
+                self.adapter,
+                self.engine,
+                primitives=self.primitives,
+                pcie=self.pcie,
+                use_undo_logging=self.use_undo_logging,
+            )
+            result = fallback.execute(transactions)
+            return ExecutionResult(
+                f"{self.name}(tpl-fallback)",
+                result.results,
+                result.breakdown,
+                kernel_reports=result.kernel_reports,
+                cascaded_aborts=result.cascaded_aborts,
+            )
+
+        breakdown.add(
+            PHASE_TRANSFER_IN, self.input_transfer_seconds(transactions)
+        )
+
+        # ---- bulk generation: map + sort by partition ------------------
+        coarse = np.asarray(
+            [pid // self.partition_size for pid in partitions], dtype=np.int64
+        )
+        breakdown.add(PHASE_GENERATION, self.primitives.map_cost(len(coarse)))
+        if self.timestamp_constrained:
+            order, sort_cost = self.primitives.sort_by_composite(
+                coarse, np.arange(len(coarse), dtype=np.int64)
+            )
+        else:
+            # Appendix G: per-partition atomic counters + prefix sum +
+            # scatter replace the sort (functionally, a stable group-by).
+            order = np.argsort(coarse, kind="stable")
+            n = len(coarse)
+            sort_cost = (
+                self.primitives.map_cost(n)
+                + self.primitives.scan_cost(int(coarse.max()) + 1)
+                + self.primitives.map_cost(n)
+            )
+        breakdown.add(PHASE_GENERATION, sort_cost)
+
+        # ---- build one thread per non-empty partition ------------------
+        grouped: Dict[int, List[Transaction]] = {}
+        for idx in order:
+            grouped.setdefault(int(coarse[idx]), []).append(transactions[idx])
+        boundary_cycles = 8 * max(1, math.ceil(math.log2(max(2, len(transactions)))))
+        tasks = [
+            self._partition_task(pid, txns, boundary_cycles)
+            for pid, txns in sorted(grouped.items())
+        ]
+        report = self.engine.launch(tasks, self.adapter)
+        breakdown.add(PHASE_EXECUTION, report.seconds)
+
+        # ---- per-transaction outcomes ----------------------------------
+        results, cancels = self._collect(transactions, report)
+        for table, provisional in cancels["inserts"]:
+            self.adapter.cancel_insert(table, provisional)
+        for table, row in cancels["deletes"]:
+            self.adapter.cancel_delete(table, row)
+        self.adapter.apply_batch()
+        breakdown.add(PHASE_TRANSFER_OUT, self.output_transfer_seconds(results))
+        return ExecutionResult(
+            self.name, results, breakdown, kernel_reports=[report]
+        )
+
+    # ------------------------------------------------------------------
+    def _partition_task(
+        self, pid: int, txns: List[Transaction], boundary_cycles: int
+    ) -> ThreadTask:
+        """One GPU thread running a partition's transactions serially."""
+        prepared = [
+            (
+                txn.txn_id,
+                self.registry.type_id(txn.type_name),
+                self._needs_undo(txn),
+                self.registry.build_stream(txn.type_name, txn.params),
+            )
+            for txn in txns
+        ]
+
+        def stream():
+            # Binary searches for the partition's [start, end) in P.
+            yield op_ir.Compute(boundary_cycles)
+            outcomes: List[Tuple[int, bool, str, Any, list, list]] = []
+            for txn_id, type_id, needs_undo, inner in prepared:
+                yield op_ir.SetBranch(type_id)
+                undo: List[Tuple[str, str, int, Any]] = []
+                ins_cancel: List[Tuple[str, int]] = []
+                del_cancel: List[Tuple[str, int]] = []
+                aborted = False
+                reason = ""
+                result = None
+                send: Any = None
+                while True:
+                    try:
+                        op = inner.send(send)
+                    except StopIteration as stop:
+                        result = stop.value
+                        break
+                    send = None
+                    if op.kind == op_ir.ABORT:
+                        aborted = True
+                        reason = op.reason
+                        # Inline rollback: compensating writes.
+                        for table, column, row, old in reversed(undo):
+                            yield op_ir.Write(table, column, row, old)
+                        break
+                    if op.kind == op_ir.WRITE and needs_undo:
+                        old = yield op_ir.Read(op.table, op.column, op.row)
+                        undo.append((op.table, op.column, op.row, old))
+                        send = yield op
+                    elif op.kind == op_ir.INSERT_ROW:
+                        provisional = yield op
+                        ins_cancel.append((op.table, provisional))
+                        send = provisional
+                    elif op.kind == op_ir.DELETE_ROW:
+                        send = yield op
+                        del_cancel.append((op.table, op.row))
+                    else:
+                        send = yield op
+                outcomes.append(
+                    (
+                        txn_id,
+                        not aborted,
+                        reason,
+                        result,
+                        ins_cancel if aborted else [],
+                        del_cancel if aborted else [],
+                    )
+                )
+                # Loop bookkeeping between transactions.
+                yield op_ir.Compute(2)
+            return outcomes
+
+        return ThreadTask(txn_id=pid, type_id=-1, body=stream())
+
+    def _collect(self, transactions, report):
+        """Flatten per-partition outcome lists into per-txn results."""
+        type_by_id = {t.txn_id: t.type_name for t in transactions}
+        per_txn: Dict[int, Tuple[bool, str, Any]] = {}
+        cancels = {"inserts": [], "deletes": []}
+        for outcome in report.outcomes:
+            for txn_id, committed, reason, value, ins, dels in outcome.result:
+                per_txn[txn_id] = (committed, reason, value)
+                cancels["inserts"].extend(ins)
+                cancels["deletes"].extend(dels)
+        results: List[TxnResult] = []
+        for txn in transactions:
+            committed, reason, value = per_txn[txn.txn_id]
+            results.append(
+                TxnResult(
+                    txn_id=txn.txn_id,
+                    type_name=type_by_id[txn.txn_id],
+                    committed=committed,
+                    abort_reason=reason,
+                    value=value,
+                )
+            )
+        return results, cancels

@@ -1,0 +1,88 @@
+"""Undo logging and recovery utilities (Appendix D).
+
+The paper eliminates logging wherever practical:
+
+* **Re-do logging** is dropped entirely -- durability is out of scope
+  ("applications may achieve durability with non-logging methods, such
+  as replications on multiple machines").
+* **Undo logging** is avoided for *two-phase* transactions: a read-only
+  first phase that may abort, then a write phase that never aborts.
+  :func:`validate_two_phase` checks a procedure instance against that
+  contract (used at registration time in tests and by workload
+  authors).
+* For the remaining types, undo records are captured during execution
+  (by the SIMT engine for TPL/K-SET, inline by the PART wrapper) and
+  rolled back afterwards; :func:`rollback` replays a log against a
+  store in reverse order, handling writes, buffered inserts, and
+  buffered deletes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Sequence, Tuple
+
+from repro.errors import RecoveryError
+from repro.gpu import ops as op_ir
+
+#: One undo record: (table, column, row, old_value) for writes, or the
+#: sentinel forms ("__insert__", table, provisional_row, None) and
+#: ("__delete__", table, row, None) for buffered mutations.
+UndoEntry = Tuple[str, str, int, Any]
+
+INSERT_SENTINEL = "__insert__"
+DELETE_SENTINEL = "__delete__"
+
+
+def rollback(adapter, entries: Sequence[UndoEntry]) -> int:
+    """Undo ``entries`` in reverse order against a StoreAdapter.
+
+    Returns the number of records rolled back. Raises
+    :class:`~repro.errors.RecoveryError` when an entry cannot be
+    applied (a malformed log is a bug, not a recoverable condition).
+    """
+    count = 0
+    for entry in reversed(entries):
+        table, column, row, old = entry
+        try:
+            if table == INSERT_SENTINEL:
+                adapter.cancel_insert(column, row)
+            elif table == DELETE_SENTINEL:
+                adapter.cancel_delete(column, row)
+            else:
+                adapter.write(table, column, row, old)
+        except Exception as exc:
+            raise RecoveryError(f"cannot roll back {entry!r}: {exc}") from exc
+        count += 1
+    return count
+
+
+def validate_two_phase(stream: op_ir.OpStream, feed: Any = 0) -> bool:
+    """Check that an op stream follows the two-phase contract.
+
+    Drives the generator to completion, feeding ``feed`` for every
+    value-producing op, and returns False if an ``Abort`` appears after
+    any ``Write``/``InsertRow``/``DeleteRow``. Because the check
+    consumes the stream, callers should build a throwaway instance.
+    """
+    wrote = False
+    send: Any = None
+    while True:
+        try:
+            op = stream.send(send)
+        except StopIteration:
+            return True
+        kind = op.kind
+        if kind in (op_ir.WRITE, op_ir.INSERT_ROW, op_ir.DELETE_ROW):
+            wrote = True
+        elif kind == op_ir.ABORT:
+            return not wrote
+        if kind in (op_ir.READ, op_ir.INDEX_PROBE, op_ir.ATOMIC_ADD,
+                    op_ir.ATOMIC_CAS, op_ir.INSERT_ROW):
+            send = feed
+        else:
+            send = None
+
+
+def undo_bytes(entries: Iterable[UndoEntry]) -> int:
+    """Device memory consumed by a log (16 B per record, Appendix D)."""
+    return 16 * sum(1 for _ in entries)

@@ -1,0 +1,179 @@
+"""The CPU-based counterpart engine (Section 6.3).
+
+"The CPU-based counterpart adopts the design of H-Store": the database
+is horizontally partitioned; each partition is owned by one
+single-threaded worker (core), which executes its transactions serially
+in timestamp order with *no* locking or latching. Cross-partition
+transactions fall back to a blocking protocol that quiesces every
+worker (the cost every partitioned system pays; H-Store's "every node
+blocks" single-site fallback).
+
+Functionally, transactions execute in global timestamp order against
+the shared database -- which is exactly what partition-serial execution
+produces for single-partition workloads -- while *time* is accounted
+per core: the engine's makespan is the maximum core time, so a skewed
+partition load lengthens the critical path just as it would on real
+silicon. ``num_cores=1`` gives the single-core baseline against which
+the paper normalises Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.procedure import ProcedureRegistry, TransactionType
+from repro.core.txn import Transaction, TxnResult
+from repro.cpu.costmodel import CpuCostModel
+from repro.errors import ConfigError, ExecutionError
+from repro.gpu import ops as op_ir
+from repro.gpu.spec import CPUSpec, XEON_E5520
+from repro.storage.catalog import Database, StoreAdapter
+
+
+@dataclass
+class CpuExecutionResult:
+    """Outcome and timing of one CPU batch execution."""
+
+    results: List[TxnResult]
+    seconds: float
+    core_seconds: List[float] = field(default_factory=list)
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for r in self.results if r.committed)
+
+    def throughput_tps(self) -> float:
+        return len(self.results) / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def throughput_ktps(self) -> float:
+        return self.throughput_tps() / 1e3
+
+
+class CpuEngine:
+    """H-Store-style partitioned single-threaded execution engine."""
+
+    def __init__(
+        self,
+        db: Database,
+        procedures: Optional[Sequence[TransactionType]] = None,
+        *,
+        spec: CPUSpec = XEON_E5520,
+        num_cores: Optional[int] = None,
+    ) -> None:
+        self.db = db
+        self.spec = spec
+        self.num_cores = num_cores if num_cores is not None else spec.num_cores
+        if self.num_cores < 1:
+            raise ConfigError("num_cores must be >= 1")
+        self.registry = ProcedureRegistry()
+        if procedures:
+            self.registry.register_many(procedures)
+        self.adapter = StoreAdapter(db)
+        self.cost = CpuCostModel(spec)
+
+    def register(self, txn_type: TransactionType) -> int:
+        return self.registry.register(txn_type)
+
+    # ------------------------------------------------------------------
+    def execute(self, transactions: Sequence[Transaction]) -> CpuExecutionResult:
+        """Run a batch to completion; returns outcomes + makespan."""
+        core_cycles = [0.0] * self.num_cores
+        results: List[TxnResult] = []
+        ordered = sorted(transactions, key=lambda t: t.txn_id)
+        for txn in ordered:
+            txn_type = self.registry.get(txn.type_name)
+            partition = txn_type.partition_of(txn.params)
+            cycles, committed, reason, value = self._run_one(txn, txn_type)
+            cycles += self.cost.dispatch()
+            if partition is None:
+                # Cross-partition: quiesce -- every worker blocks for it.
+                for core in range(self.num_cores):
+                    core_cycles[core] += cycles
+            else:
+                core_cycles[partition % self.num_cores] += cycles
+            results.append(
+                TxnResult(
+                    txn_id=txn.txn_id,
+                    type_name=txn.type_name,
+                    committed=committed,
+                    abort_reason=reason,
+                    value=value,
+                )
+            )
+        self.adapter.apply_batch()
+        seconds = self.cost.seconds(max(core_cycles)) if core_cycles else 0.0
+        return CpuExecutionResult(
+            results=results,
+            seconds=seconds,
+            core_seconds=[self.cost.seconds(c) for c in core_cycles],
+        )
+
+    # ------------------------------------------------------------------
+    def _run_one(
+        self, txn: Transaction, txn_type: TransactionType
+    ) -> Tuple[float, bool, str, Any]:
+        """Execute one transaction's op stream; serial, inline rollback."""
+        stream = self.registry.build_stream(txn.type_name, txn.params)
+        adapter = self.adapter
+        cost = self.cost
+        cycles = 0.0
+        undo: List[Tuple[str, str, int, Any]] = []
+        pending_inserts: List[Tuple[str, int]] = []
+        pending_deletes: List[Tuple[str, int]] = []
+        send: Any = None
+        while True:
+            try:
+                op = stream.send(send)
+            except StopIteration as stop:
+                return cycles, True, "", stop.value
+            except Exception as exc:
+                raise ExecutionError(
+                    f"transaction {txn.txn_id} raised {exc!r}"
+                ) from exc
+            send = None
+            kind = op.kind
+            if kind == op_ir.READ:
+                send = adapter.read(op.table, op.column, op.row)
+                cycles += cost.memory_access()
+            elif kind == op_ir.WRITE:
+                old = adapter.write(op.table, op.column, op.row, op.value)
+                undo.append((op.table, op.column, op.row, old))
+                cycles += cost.memory_access()
+            elif kind == op_ir.COMPUTE:
+                cycles += cost.compute(op.amount)
+            elif kind == op_ir.SFU_COMPUTE:
+                cycles += cost.sfu(op.amount)
+            elif kind == op_ir.INDEX_PROBE:
+                send = adapter.probe(op.index, op.key)
+                cycles += 2 * cost.memory_access()
+            elif kind == op_ir.INSERT_ROW:
+                provisional = adapter.insert(op.table, op.values)
+                pending_inserts.append((op.table, provisional))
+                send = provisional
+                cycles += cost.insert(adapter.row_width(op.table))
+            elif kind == op_ir.DELETE_ROW:
+                adapter.delete(op.table, op.row)
+                pending_deletes.append((op.table, op.row))
+                cycles += cost.memory_access()
+            elif kind == op_ir.ABORT:
+                # Inline rollback: serial execution makes this trivial
+                # (no other transaction has observed our writes).
+                for table, column, row, old in reversed(undo):
+                    adapter.write(table, column, row, old)
+                    cycles += cost.memory_access()
+                for table, provisional in pending_inserts:
+                    adapter.cancel_insert(table, provisional)
+                for table, row in pending_deletes:
+                    adapter.cancel_delete(table, row)
+                return cycles, False, op.reason, None
+            elif kind in (op_ir.LOCK_ACQUIRE, op_ir.LOCK_RELEASE,
+                          op_ir.THREAD_FENCE, op_ir.SET_BRANCH):
+                cycles += cost.compute(1)
+            elif kind in (op_ir.ATOMIC_ADD, op_ir.ATOMIC_CAS):
+                raise ExecutionError(
+                    "raw device atomics are not part of the CPU engine"
+                )
+            else:  # pragma: no cover - closed op table
+                raise ExecutionError(f"unknown op kind {kind}")

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the GPUTx reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+that callers can catch library failures with a single ``except`` clause
+while still distinguishing the common cases.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A table/column definition is invalid or violated."""
+
+
+class StorageError(ReproError):
+    """A storage-level operation failed (bad row id, full buffer, ...)."""
+
+
+class CatalogError(ReproError):
+    """Unknown table, duplicate table, or invalid catalog operation."""
+
+
+class IndexError_(ReproError):
+    """An index lookup/maintenance operation failed.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`IndexError`; exported as ``ReproIndexError`` from the package
+    root.
+    """
+
+
+class ProcedureError(ReproError):
+    """A stored procedure is malformed or was invoked incorrectly."""
+
+
+class RegistrationError(ProcedureError):
+    """Registering a transaction type with the engine failed."""
+
+
+class ExecutionError(ReproError):
+    """A bulk execution failed in a way that is not a transaction abort."""
+
+
+class DeadlockError(ExecutionError):
+    """The SIMT engine detected that no thread can make progress.
+
+    Raised by the basic (non-counter) spin-lock TPL variant, which --
+    exactly as Appendix C of the paper warns -- can deadlock. The
+    counter-based lock keyed by T-dependency ranks never deadlocks.
+    """
+
+
+class KernelTimeoutError(ExecutionError):
+    """A simulated kernel exceeded the configured round budget."""
+
+
+class TransactionAborted(ReproError):
+    """Internal signal: a transaction requested an abort.
+
+    Not a user-facing error; executors catch it, roll back via the undo
+    log when necessary, and record the abort in the result pool.
+    """
+
+    def __init__(self, reason: str = "") -> None:
+        super().__init__(reason or "transaction aborted")
+        self.reason = reason
+
+
+class RecoveryError(ReproError):
+    """Log-based recovery could not roll back an aborted transaction."""
+
+
+class ConfigError(ReproError):
+    """An engine/simulator configuration value is out of range."""

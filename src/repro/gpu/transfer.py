@@ -1,0 +1,64 @@
+"""PCIe transfer model between host and device memory.
+
+The paper's throughput measurements include the transfer of transaction
+signatures to the device and results back (Section 6.1 / Appendix E),
+and Figure 16 breaks the three components out: one-off initialization
+(tables + indexes), per-bulk input, per-bulk output -- the latter two
+contributing less than 5 % of execution time. This module provides that
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.gpu.spec import C1060, GPUSpec
+
+
+@dataclass
+class TransferLedger:
+    """Accumulated host<->device traffic, by component."""
+
+    bytes_by_component: Dict[str, int] = field(default_factory=dict)
+    seconds_by_component: Dict[str, float] = field(default_factory=dict)
+
+    def record(self, component: str, nbytes: int, seconds: float) -> None:
+        self.bytes_by_component[component] = (
+            self.bytes_by_component.get(component, 0) + nbytes
+        )
+        self.seconds_by_component[component] = (
+            self.seconds_by_component.get(component, 0.0) + seconds
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds_by_component.values())
+
+
+class PCIeModel:
+    """Latency + bandwidth model of the host-device interconnect."""
+
+    def __init__(self, spec: GPUSpec = C1060) -> None:
+        self.spec = spec
+        self.ledger = TransferLedger()
+
+    def transfer_seconds(self, nbytes: int) -> float:
+        """Time for one DMA of ``nbytes`` in either direction."""
+        if nbytes <= 0:
+            return 0.0
+        return self.spec.pcie_latency_s + nbytes / self.spec.pcie_bandwidth_bytes_per_s
+
+    def to_device(self, nbytes: int, component: str = "input") -> float:
+        seconds = self.transfer_seconds(nbytes)
+        self.ledger.record(component, nbytes, seconds)
+        return seconds
+
+    def to_host(self, nbytes: int, component: str = "output") -> float:
+        seconds = self.transfer_seconds(nbytes)
+        self.ledger.record(component, nbytes, seconds)
+        return seconds
+
+    def initialize(self, nbytes: int) -> float:
+        """One-off load of tables and indexes into device memory."""
+        return self.to_device(nbytes, component="initialization")

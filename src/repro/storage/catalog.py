@@ -1,0 +1,290 @@
+"""Database catalog: tables, indexes, and the device-store adapter.
+
+:class:`Database` owns tables (column- or row-layout), hash indexes,
+and the static key maps the paper uses for string lookups (e.g. the
+"static mapping from the string representation to the subscriber ID"
+in TM1, Appendix E). :class:`StoreAdapter` exposes a database to the
+SIMT engine through the :class:`~repro.gpu.memory.DeviceStore`
+protocol, including the temporary insert buffer with post-kernel
+batched apply (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import CatalogError, StorageError
+from repro.storage.buffer import MutationJournal
+from repro.storage.column_store import ColumnTable
+from repro.storage.index import HashIndex, MultiHashIndex
+from repro.storage.row_store import RowTable
+from repro.storage.schema import TableSchema
+
+Table = Union[ColumnTable, RowTable]
+Index = Union[HashIndex, MultiHashIndex]
+
+#: Address stride separating tables in the pretend device address space.
+_TABLE_REGION_STRIDE = 1 << 38
+
+
+class Database:
+    """An in-memory database: schema + data + indexes + static maps."""
+
+    def __init__(self, layout: str = "column") -> None:
+        if layout not in ("column", "row"):
+            raise CatalogError(f"unknown layout {layout!r}")
+        self.layout = layout
+        self.tables: Dict[str, Table] = {}
+        self.indexes: Dict[str, Index] = {}
+        self.static_maps: Dict[str, Dict[Any, int]] = {}
+        self._table_order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # DDL.
+    # ------------------------------------------------------------------
+    def create_table(self, schema: TableSchema, capacity: int = 64) -> Table:
+        if schema.name in self.tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table: Table
+        if self.layout == "column":
+            table = ColumnTable(schema, capacity)
+        else:
+            table = RowTable(schema, capacity)
+        self.tables[schema.name] = table
+        self._table_order.append(schema.name)
+        return table
+
+    def create_index(
+        self,
+        name: str,
+        table: str,
+        columns: Sequence[str],
+        unique: bool = True,
+    ) -> Index:
+        if name in self.indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        tbl = self.table(table)
+        for col in columns:
+            tbl.schema.column(col)  # validates existence
+        index: Index
+        if unique:
+            index = HashIndex(name, table, tuple(columns))
+        else:
+            index = MultiHashIndex(name, table, tuple(columns))
+        # Build over existing rows.
+        for row in range(tbl.n_rows):
+            if not tbl.is_deleted(row):
+                index.insert(self._key_of(tbl, index.columns, row), row)
+        self.indexes[name] = index
+        return index
+
+    def create_static_map(self, name: str, mapping: Dict[Any, int]) -> None:
+        """Register a read-only key map (e.g. sub_nbr string -> s_id)."""
+        if name in self.static_maps or name in self.indexes:
+            raise CatalogError(f"map/index {name!r} already exists")
+        self.static_maps[name] = dict(mapping)
+
+    # ------------------------------------------------------------------
+    # Lookup helpers.
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"no table {name!r}") from None
+
+    def index(self, name: str) -> Index:
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise CatalogError(f"no index {name!r}") from None
+
+    def indexes_on(self, table: str) -> List[Index]:
+        return [ix for ix in self.indexes.values() if ix.table == table]
+
+    def table_base_address(self, name: str) -> int:
+        try:
+            ordinal = self._table_order.index(name)
+        except ValueError:
+            raise CatalogError(f"no table {name!r}") from None
+        return ordinal * _TABLE_REGION_STRIDE
+
+    @staticmethod
+    def _key_of(table: Table, columns: Tuple[str, ...], row: int) -> Any:
+        if len(columns) == 1:
+            return table.read(columns[0], row)
+        return tuple(table.read(c, row) for c in columns)
+
+    @staticmethod
+    def _key_from_values(
+        schema: TableSchema, columns: Tuple[str, ...], values: Sequence[Any]
+    ) -> Any:
+        if len(columns) == 1:
+            return values[schema.column_index(columns[0])]
+        return tuple(values[schema.column_index(c)] for c in columns)
+
+    # ------------------------------------------------------------------
+    # Memory accounting (Figure 16, storage comparison).
+    # ------------------------------------------------------------------
+    def device_bytes_report(self) -> Dict[str, int]:
+        tables = sum(t.device_bytes() for t in self.tables.values())
+        indexes = sum(ix.device_bytes() for ix in self.indexes.values())
+        maps = sum(len(m) * 24 for m in self.static_maps.values())
+        return {
+            "tables": tables,
+            "indexes": indexes,
+            "static_maps": maps,
+            "total": tables + indexes + maps,
+        }
+
+    # ------------------------------------------------------------------
+    # Cloning and canonical state (tests + Definition 1 checks).
+    # ------------------------------------------------------------------
+    def clone(self) -> "Database":
+        """Deep copy: independent data, rebuilt indexes, copied maps."""
+        other = Database(self.layout)
+        for name in self._table_order:
+            table = self.tables[name]
+            clone = other.create_table(table.schema, capacity=max(table.n_rows, 64))
+            rows = [table.read_row(r) for r in range(table.n_rows)]
+            clone.append_rows(rows)
+            for r in range(table.n_rows):
+                if table.is_deleted(r):
+                    clone.mark_deleted(r)
+        for ix in self.indexes.values():
+            other.create_index(ix.name, ix.table, ix.columns, unique=ix.unique)
+        for name, mapping in self.static_maps.items():
+            other.create_static_map(name, mapping)
+        return other
+
+    def logical_state(self) -> Dict[str, List[Tuple[Any, ...]]]:
+        """Canonical content per table: sorted live row tuples.
+
+        Physical row order is not logical state (batched inserts may
+        land in a different order than a serial execution would have
+        appended them), so rows are sorted by their repr -- stable for
+        the mixed int/float/str tuples the workloads produce.
+        """
+        state: Dict[str, List[Tuple[Any, ...]]] = {}
+        for name, table in self.tables.items():
+            rows = [
+                table.read_row(r)
+                for r in range(table.n_rows)
+                if not table.is_deleted(r)
+            ]
+            rows.sort(key=repr)
+            state[name] = rows
+        return state
+
+
+class StoreAdapter:
+    """Adapts a :class:`Database` to the SIMT engine's DeviceStore.
+
+    Inserts and deletes take effect immediately (including index
+    maintenance) so later transactions of the bulk observe them; the
+    :class:`~repro.storage.buffer.MutationJournal` remembers them until
+    the next batch boundary so an aborting transaction can cancel its
+    own mutations. The *performance* of the paper's temporary insert
+    buffer (atomicAdd allocation, post-kernel batched apply) is charged
+    by the SIMT engine and executors, not here -- see buffer.py.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.journal = MutationJournal()
+
+    # -- DeviceStore protocol -------------------------------------------
+    def read(self, table: str, column: str, row: int) -> Any:
+        return self.db.table(table).read(column, row)
+
+    def write(self, table: str, column: str, row: int, value: Any) -> Any:
+        return self.db.table(table).write(column, row, value)
+
+    def address_of(self, table: str, column: str, row: int) -> Tuple[int, int]:
+        tbl = self.db.table(table)
+        offset, width = tbl.cell_address(column, row)
+        return self.db.table_base_address(table) + offset, width
+
+    def probe(self, index: str, key: Any) -> Any:
+        """Unique index -> row id or -1; multi index -> tuple of rows;
+        static map -> mapped id or -1."""
+        static = self.db.static_maps.get(index)
+        if static is not None:
+            return static.get(key, -1)
+        ix = self.db.index(index)
+        if ix.unique:
+            return ix.probe(key)
+        return tuple(ix.probe_all(key))
+
+    def probe_cost_addresses(self, index: str, key: Any) -> List[Tuple[int, int]]:
+        if index in self.db.static_maps:
+            bucket = hash((index, key)) & 0xFFFFFF
+            return [(bucket * 16, 8), (bucket * 16 + 8, 8)]
+        return self.db.index(index).probe_cost_addresses(key)
+
+    def insert(self, table: str, values: Sequence[Any]) -> int:
+        tbl = self.db.table(table)
+        if len(values) != len(tbl.schema.columns):
+            raise StorageError(
+                f"insert into {table!r}: {len(values)} values for "
+                f"{len(tbl.schema.columns)} columns"
+            )
+        row = tbl.append_rows([values])[0]
+        for ix in self.db.indexes_on(table):
+            key = Database._key_from_values(tbl.schema, ix.columns, values)
+            ix.insert(key, row)
+        self.journal.record_insert(table, row)
+        return row
+
+    def delete(self, table: str, row: int) -> None:
+        tbl = self.db.table(table)
+        if not 0 <= row < tbl.n_rows:
+            raise StorageError(
+                f"delete of row {row} out of range in table {table!r}"
+            )
+        if tbl.is_deleted(row):
+            raise StorageError(
+                f"row {row} of table {table!r} is already deleted"
+            )
+        self._unindex_row(table, row)
+        tbl.mark_deleted(row)
+        self.journal.record_delete(table, row)
+
+    def row_width(self, table: str) -> int:
+        schema = self.db.table(table).schema
+        if self.db.layout == "row":
+            return schema.row_width
+        return schema.device_row_width
+
+    # -- abort rollback ---------------------------------------------------
+    def cancel_insert(self, table: str, row: int) -> None:
+        """Undo one insert of an aborting transaction."""
+        self._unindex_row(table, row)
+        self.db.table(table).mark_deleted(row)
+        self.journal.forget_insert(table, row)
+
+    def cancel_delete(self, table: str, row: int) -> None:
+        """Undo one delete of an aborting transaction."""
+        tbl = self.db.table(table)
+        tbl.unmark_deleted(row)
+        for ix in self.db.indexes_on(table):
+            key = Database._key_of(tbl, ix.columns, row)
+            ix.insert(key, row)
+        self.journal.forget_delete(table, row)
+
+    # -- batch boundary -----------------------------------------------------
+    def apply_batch(self) -> None:
+        """Commit the staged mutations (post-kernel batched update)."""
+        self.journal.clear()
+
+    # ------------------------------------------------------------------
+    def _unindex_row(self, table: str, row: int) -> None:
+        tbl = self.db.table(table)
+        for ix in self.db.indexes_on(table):
+            key = Database._key_of(tbl, ix.columns, row)
+            if ix.unique:
+                if ix.probe(key) == row:
+                    ix.remove(key)
+            else:
+                ix.remove(key, row)

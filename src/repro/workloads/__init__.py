@@ -1,0 +1,5 @@
+"""Benchmark workloads: micro (Section 6.1), TM1, TPC-B, TPC-C (App. E)."""
+
+from repro.workloads import base, micro, tm1, tpcb, tpcc
+
+__all__ = ["base", "micro", "tm1", "tpcb", "tpcc"]

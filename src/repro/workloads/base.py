@@ -1,0 +1,96 @@
+"""Shared infrastructure for the benchmark workloads.
+
+Every workload module (micro, TM1, TPC-B, TPC-C) follows one contract:
+
+* ``build_database(scale_factor, layout="column", ...) -> Database``
+* ``build_procedures(...) -> list[TransactionType]`` (or a module-level
+  ``PROCEDURES`` for fixed sets)
+* ``generate_transactions(db_or_params, n, seed, ...) -> list[(name, params)]``
+
+so benches and examples can swap workloads freely. This module holds
+the common random generators (the skewed "first lock with probability
+alpha" distribution of Section 6.1, NURand for TPC-C, deterministic
+string pools).
+"""
+
+from __future__ import annotations
+
+import string
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+#: A submission-ready transaction: (type name, parameter tuple).
+TxnSpec = Tuple[str, tuple]
+
+
+def make_rng(seed: int) -> np.random.Generator:
+    """The single RNG entry point -- keeps workloads reproducible."""
+    return np.random.default_rng(seed)
+
+
+def skewed_first_item(
+    rng: np.random.Generator, n_items: int, alpha: float, size: int
+) -> np.ndarray:
+    """The paper's skew model (Section 6.1).
+
+    Each transaction targets item 0 with probability ``alpha``;
+    otherwise one of the remaining items uniformly. ``alpha = 1/n``
+    reproduces a uniform workload; larger alpha deepens the
+    T-dependency graph.
+    """
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be within [0, 1]")
+    if n_items < 1:
+        raise ValueError("need at least one item")
+    hot = rng.random(size) < alpha
+    others = rng.integers(1, max(2, n_items), size=size)
+    out = np.where(hot, 0, others % n_items)
+    if n_items == 1:
+        out[:] = 0
+    return out.astype(np.int64)
+
+
+def nurand(rng: np.random.Generator, a: int, x: int, y: int, c: int = 123) -> int:
+    """TPC-C's non-uniform random NURand(A, x, y)."""
+    return (
+        ((int(rng.integers(0, a + 1)) | int(rng.integers(x, y + 1))) + c)
+        % (y - x + 1)
+    ) + x
+
+
+_LAST_NAME_SYLLABLES = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES",
+    "ESE", "ANTI", "CALLY", "ATION", "EING",
+]
+
+
+def tpcc_last_name(num: int) -> str:
+    """TPC-C customer last name from a three-digit number."""
+    return (
+        _LAST_NAME_SYLLABLES[(num // 100) % 10]
+        + _LAST_NAME_SYLLABLES[(num // 10) % 10]
+        + _LAST_NAME_SYLLABLES[num % 10]
+    )
+
+
+def padded_number_string(value: int, width: int) -> str:
+    """Fixed-width numeric string (TM1's sub_nbr representation)."""
+    return str(value).zfill(width)
+
+
+def random_string(rng: np.random.Generator, length: int) -> str:
+    """Uppercase filler string of exactly ``length`` characters."""
+    letters = np.array(list(string.ascii_uppercase))
+    return "".join(letters[rng.integers(0, 26, size=length)])
+
+
+def choose_mix(
+    rng: np.random.Generator, mix: Sequence[Tuple[str, float]], size: int
+) -> List[str]:
+    """Draw ``size`` type names from a (name, weight) mix."""
+    names = [name for name, _w in mix]
+    weights = np.asarray([w for _n, w in mix], dtype=float)
+    weights = weights / weights.sum()
+    picks = rng.choice(len(names), size=size, p=weights)
+    return [names[i] for i in picks]

@@ -1,0 +1,124 @@
+"""The micro benchmark of Section 6.1.
+
+"Each transaction reads a tuple, performs computation, and then writes
+the result back to the tuple. The amount of computation is simulated
+with calling the sinf function (100 * x) times." There are ``T``
+transaction types -- ``T`` branches of the combined kernel's switch
+clause with identical structure (the paper verified the compiler kept
+the branches) -- so warp-mates of different types diverge even though
+the code paths look alike. Defaults ``T = 8`` and ``x = 16`` follow the
+paper; the low/high computation variants of Figure 3 are ``x = 1`` and
+``x = 16``.
+
+The lock-acquisition skew (Figure 6) is the ``alpha`` model: a
+transaction targets tuple 0 with probability alpha, otherwise a uniform
+tuple; larger alpha deepens the T-dependency graph.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.procedure import Access, TransactionType
+from repro.gpu import ops as op_ir
+from repro.storage.catalog import Database
+from repro.storage.schema import ColumnDef, DataType, TableSchema
+from repro.workloads.base import TxnSpec, make_rng, skewed_first_item
+
+#: Paper defaults (Section 6.1).
+DEFAULT_BRANCHES = 8
+DEFAULT_COMPUTE_X = 16
+DEFAULT_TUPLES = 8_000_000  # the paper's table size; benches scale down
+
+TABLE = "tuples"
+
+
+def build_database(n_tuples: int, layout: str = "column") -> Database:
+    """One relation of ``n_tuples`` rows: (id, value, payload)."""
+    db = Database(layout)
+    schema = TableSchema(
+        TABLE,
+        [
+            ColumnDef("id", DataType.INT64),
+            ColumnDef("value", DataType.FLOAT64),
+            ColumnDef("payload", DataType.INT64),
+        ],
+        primary_key=("id",),
+        partition_key="id",
+    )
+    table = db.create_table(schema, capacity=n_tuples)
+    import numpy as np
+
+    ids = np.arange(n_tuples, dtype=np.int64)
+    table.append_columns(
+        {
+            "id": ids,
+            "value": np.zeros(n_tuples, dtype=np.float64),
+            "payload": ids * 17 % 1009,
+        }
+    )
+    return db
+
+
+def build_procedures(
+    n_branches: int = DEFAULT_BRANCHES, x: int = DEFAULT_COMPUTE_X
+) -> List[TransactionType]:
+    """``n_branches`` identically-shaped types: read, sinf(100x), write.
+
+    Rows double as data items and partition ids (the table *is* the
+    root relation), so conflicts are per-tuple and PART's partitions
+    coarsen tuples via the executor's ``partition_size``.
+    """
+    if n_branches < 1:
+        raise ValueError("need at least one branch")
+
+    def make_type(branch: int) -> TransactionType:
+        sinf_calls = 100 * x
+
+        def body(row: int) -> op_ir.OpStream:
+            value = yield op_ir.Read(TABLE, "value", row)
+            yield op_ir.SfuCompute(sinf_calls)
+            yield op_ir.Write(TABLE, "value", row, value + 1.0)
+            return value + 1.0
+
+        def access_fn(params) -> List[Access]:
+            return [Access(item=int(params[0]), write=True)]
+
+        def partition_fn(params):
+            return int(params[0])
+
+        return TransactionType(
+            name=f"micro_{branch}",
+            body=body,
+            access_fn=access_fn,
+            partition_fn=partition_fn,
+            two_phase=True,
+            conflict_classes=frozenset({TABLE}),
+        )
+
+    return [make_type(b) for b in range(n_branches)]
+
+
+def generate_transactions(
+    n: int,
+    *,
+    n_tuples: int,
+    n_branches: int = DEFAULT_BRANCHES,
+    alpha: float | None = None,
+    seed: int = 1,
+) -> List[TxnSpec]:
+    """Uniform type assignment; tuple choice uniform or alpha-skewed.
+
+    ``alpha=None`` means fully uniform tuples (no hot item). Types are
+    assigned round-robin ("transactions are evenly assigned with a
+    transaction type").
+    """
+    rng = make_rng(seed)
+    if alpha is None:
+        rows = rng.integers(0, n_tuples, size=n)
+    else:
+        rows = skewed_first_item(rng, n_tuples, alpha, n)
+    return [
+        (f"micro_{i % n_branches}", (int(rows[i]),))
+        for i in range(n)
+    ]

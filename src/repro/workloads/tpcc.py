@@ -1,0 +1,799 @@
+"""TPC-C (Appendix E): order-entry OLTP with five transaction types.
+
+"TPC-C approximates the workloads in an online transaction processing
+database for a retailer ... the process of customer orders from the
+initial creation to the final delivery and payment."
+
+Following the paper: transactions access rows by primary key; PAYMENT
+and ORDER_STATUS "may search the customer using the last name", so each
+is split into a lookup transaction (last name -> customer id through
+the customer-name index) plus the remainder logic (Appendix E). All
+five types are written two-phase (abort checks complete before the
+first write -- NEW_ORDER validates every item id up front, the
+well-known H-Store rewrite), so no undo logging is required.
+
+**Documented deviation** (also in DESIGN.md): the paper partitions
+TPC-C by the combined (warehouse, district) key. District-level
+partitioning is unsound for STOCK, which is shared by all ten districts
+of a warehouse (two districts' NEW_ORDERs write the same stock rows);
+H-Store itself partitions TPC-C by warehouse for exactly this reason.
+We therefore partition by warehouse and scope conflict items as:
+
+* ``w*32 + d`` (d = 1..10) -- the district subtree (district row,
+  customers, orders, order lines, new-orders);
+* ``w*32 + 0``  -- the warehouse row itself (w_ytd);
+* stock conflicts at row granularity ((supply_w, i_id)), per Fekete et
+  al.'s analysis -- two NEW_ORDERs conflict on stock only when they
+  share an item.
+
+DELIVERY is rewritten into ten per-district transactions (the spec
+allows deferred delivery; H-Store does the same), and STOCK_LEVEL's
+data-dependent stock reads are recorded at a coarse marker granularity
+per Appendix B's worst-case rule.
+
+A transaction whose items span several warehouses (remote stock or
+remote payment customer) is cross-partition: PART falls back to TPL for
+the bulk, exactly the "severe degradation" of Section 5.2.
+
+Scaling: ``scale_factor`` = warehouses; districts fixed at 10;
+customers/items scaled down by default (pass the spec values --
+3000 customers per district, 100 000 items -- for full size).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.procedure import Access, TransactionType
+from repro.gpu import ops as op_ir
+from repro.storage.catalog import Database
+from repro.storage.schema import ColumnDef, DataType, TableSchema
+from repro.workloads.base import (
+    TxnSpec,
+    choose_mix,
+    make_rng,
+    nurand,
+    tpcc_last_name,
+)
+
+DISTRICTS = 10
+DEFAULT_CUSTOMERS_PER_DISTRICT = 120   # spec: 3000
+DEFAULT_ITEMS = 1_000                  # spec: 100 000
+DEFAULT_INIT_ORDERS_PER_DISTRICT = 30  # spec: 3000
+
+WAREHOUSE = "warehouse"
+DISTRICT = "district"
+CUSTOMER = "customer"
+HISTORY = "history"
+NEW_ORDER = "new_order"
+ORDERS = "orders"
+ORDER_LINE = "order_line"
+ITEM = "item"
+STOCK = "stock"
+
+#: Standard mix (weights in percent).
+DEFAULT_MIX = [
+    ("tpcc_new_order", 45.0),
+    ("tpcc_payment", 43.0),
+    ("tpcc_order_status", 4.0),
+    ("tpcc_delivery", 4.0),
+    ("tpcc_stock_level", 4.0),
+]
+
+# -- conflict item encoding (see module docstring) ---------------------------
+# District subtrees and the warehouse row get slots under w*32+slot;
+# stock conflicts are detected at the *row* level ((supply_w, i_id)),
+# which is what Fekete et al.'s analysis licenses: two NEW_ORDERs
+# conflict on stock only when they actually share an item. Data
+# accesses in GPUTx are at data-field granularity (Section 3.2).
+_W_SLOT = 0
+_ITEMS_PER_W = 32
+_STOCK_BASE = 1 << 40
+_STOCK_W_SHIFT = 20  # up to 2^20 items per warehouse
+
+
+def _wd_item(w: int, d: int) -> int:
+    return w * _ITEMS_PER_W + d
+
+
+def _w_item(w: int) -> int:
+    return w * _ITEMS_PER_W + _W_SLOT
+
+
+def _stock_item(w: int, i_id: int = 0) -> int:
+    return _STOCK_BASE + (w << _STOCK_W_SHIFT) + i_id
+
+
+def _warehouse_of_item(item: int) -> int:
+    if item >= _STOCK_BASE:
+        return (item - _STOCK_BASE) >> _STOCK_W_SHIFT
+    return item // _ITEMS_PER_W
+
+
+def _single_warehouse_or_none(items: Sequence[Access]):
+    warehouses = {_warehouse_of_item(a.item) for a in items}
+    if len(warehouses) == 1:
+        return warehouses.pop()
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Database population.
+# ---------------------------------------------------------------------------
+def build_database(
+    scale_factor: int,
+    customers_per_district: int = DEFAULT_CUSTOMERS_PER_DISTRICT,
+    n_items: int = DEFAULT_ITEMS,
+    init_orders_per_district: int = DEFAULT_INIT_ORDERS_PER_DISTRICT,
+    layout: str = "column",
+    seed: int = 42,
+) -> Database:
+    """Populate the nine TPC-C tables for ``scale_factor`` warehouses."""
+    if scale_factor < 1:
+        raise ValueError("scale_factor must be >= 1")
+    rng = make_rng(seed)
+    n_w = scale_factor
+    db = Database(layout)
+
+    warehouse = db.create_table(
+        TableSchema(
+            WAREHOUSE,
+            [
+                ColumnDef("w_id", DataType.INT64),
+                ColumnDef("w_name", DataType.CHAR, length=10,
+                          device_resident=False),
+                ColumnDef("w_tax", DataType.FLOAT64),
+                ColumnDef("w_ytd", DataType.FLOAT64),
+            ],
+            primary_key=("w_id",),
+            partition_key="w_id",
+        ),
+        capacity=n_w,
+    )
+    warehouse.append_columns(
+        {
+            "w_id": np.arange(n_w, dtype=np.int64),
+            "w_name": np.array([f"WH{w:06d}" for w in range(n_w)], dtype=object),
+            "w_tax": rng.uniform(0.0, 0.2, size=n_w),
+            "w_ytd": np.full(n_w, 300_000.0),
+        }
+    )
+
+    n_d = n_w * DISTRICTS
+    district = db.create_table(
+        TableSchema(
+            DISTRICT,
+            [
+                ColumnDef("d_w_id", DataType.INT64),
+                ColumnDef("d_id", DataType.INT64),
+                ColumnDef("d_tax", DataType.FLOAT64),
+                ColumnDef("d_ytd", DataType.FLOAT64),
+                ColumnDef("d_next_o_id", DataType.INT64),
+            ],
+            primary_key=("d_w_id", "d_id"),
+            partition_key="d_w_id",
+        ),
+        capacity=n_d,
+    )
+    d_idx = np.arange(n_d, dtype=np.int64)
+    district.append_columns(
+        {
+            "d_w_id": d_idx // DISTRICTS,
+            "d_id": d_idx % DISTRICTS + 1,
+            "d_tax": rng.uniform(0.0, 0.2, size=n_d),
+            "d_ytd": np.full(n_d, 30_000.0),
+            "d_next_o_id": np.full(n_d, init_orders_per_district,
+                                   dtype=np.int64),
+        }
+    )
+
+    n_c = n_d * customers_per_district
+    customer = db.create_table(
+        TableSchema(
+            CUSTOMER,
+            [
+                ColumnDef("c_w_id", DataType.INT64),
+                ColumnDef("c_d_id", DataType.INT64),
+                ColumnDef("c_id", DataType.INT64),
+                ColumnDef("c_last", DataType.CHAR, length=16,
+                          device_resident=False),
+                ColumnDef("c_credit", DataType.CHAR, length=2,
+                          device_resident=False),
+                ColumnDef("c_discount", DataType.FLOAT64),
+                ColumnDef("c_balance", DataType.FLOAT64),
+                ColumnDef("c_ytd_payment", DataType.FLOAT64),
+                ColumnDef("c_payment_cnt", DataType.INT64),
+                ColumnDef("c_delivery_cnt", DataType.INT64),
+            ],
+            primary_key=("c_w_id", "c_d_id", "c_id"),
+            partition_key="c_w_id",
+        ),
+        capacity=n_c,
+    )
+    c_idx = np.arange(n_c, dtype=np.int64)
+    c_wd = c_idx // customers_per_district
+    c_local = c_idx % customers_per_district
+    customer.append_columns(
+        {
+            "c_w_id": c_wd // DISTRICTS,
+            "c_d_id": c_wd % DISTRICTS + 1,
+            "c_id": c_local,
+            "c_last": np.array(
+                [tpcc_last_name(int(c) % 1000) for c in c_local], dtype=object
+            ),
+            "c_credit": np.array(
+                ["GC" if v < 0.9 else "BC" for v in rng.random(n_c)],
+                dtype=object,
+            ),
+            "c_discount": rng.uniform(0.0, 0.5, size=n_c),
+            "c_balance": np.full(n_c, -10.0),
+            "c_ytd_payment": np.full(n_c, 10.0),
+            "c_payment_cnt": np.ones(n_c, dtype=np.int64),
+            "c_delivery_cnt": np.zeros(n_c, dtype=np.int64),
+        }
+    )
+
+    db.create_table(
+        TableSchema(
+            HISTORY,
+            [
+                ColumnDef("h_c_w_id", DataType.INT64),
+                ColumnDef("h_c_d_id", DataType.INT64),
+                ColumnDef("h_c_id", DataType.INT64),
+                ColumnDef("h_w_id", DataType.INT64),
+                ColumnDef("h_d_id", DataType.INT64),
+                ColumnDef("h_amount", DataType.FLOAT64),
+            ],
+        ),
+        capacity=max(64, n_c // 2),
+    )
+
+    item = db.create_table(
+        TableSchema(
+            ITEM,
+            [
+                ColumnDef("i_id", DataType.INT64),
+                ColumnDef("i_name", DataType.CHAR, length=24,
+                          device_resident=False),
+                ColumnDef("i_price", DataType.FLOAT64),
+            ],
+            primary_key=("i_id",),
+        ),
+        capacity=n_items,
+    )
+    item.append_columns(
+        {
+            "i_id": np.arange(n_items, dtype=np.int64),
+            "i_name": np.array(
+                [f"ITEM{i:08d}" for i in range(n_items)], dtype=object
+            ),
+            "i_price": rng.uniform(1.0, 100.0, size=n_items),
+        }
+    )
+
+    n_s = n_w * n_items
+    stock = db.create_table(
+        TableSchema(
+            STOCK,
+            [
+                ColumnDef("s_w_id", DataType.INT64),
+                ColumnDef("s_i_id", DataType.INT64),
+                ColumnDef("s_quantity", DataType.INT64),
+                ColumnDef("s_ytd", DataType.INT64),
+                ColumnDef("s_order_cnt", DataType.INT64),
+                ColumnDef("s_remote_cnt", DataType.INT64),
+            ],
+            primary_key=("s_w_id", "s_i_id"),
+            partition_key="s_w_id",
+        ),
+        capacity=n_s,
+    )
+    s_idx = np.arange(n_s, dtype=np.int64)
+    stock.append_columns(
+        {
+            "s_w_id": s_idx // n_items,
+            "s_i_id": s_idx % n_items,
+            "s_quantity": rng.integers(10, 101, size=n_s),
+            "s_ytd": np.zeros(n_s, dtype=np.int64),
+            "s_order_cnt": np.zeros(n_s, dtype=np.int64),
+            "s_remote_cnt": np.zeros(n_s, dtype=np.int64),
+        }
+    )
+
+    # Initial orders: all delivered except the newest third.
+    orders_cols = {
+        "o_w_id": [], "o_d_id": [], "o_id": [], "o_c_id": [],
+        "o_carrier_id": [], "o_ol_cnt": [],
+    }
+    no_cols = {"no_w_id": [], "no_d_id": [], "no_o_id": []}
+    ol_cols = {
+        "ol_w_id": [], "ol_d_id": [], "ol_o_id": [], "ol_number": [],
+        "ol_i_id": [], "ol_supply_w_id": [], "ol_quantity": [],
+        "ol_amount": [], "ol_delivery_d": [],
+    }
+    undelivered_from = init_orders_per_district * 2 // 3
+    for w in range(n_w):
+        for d in range(1, DISTRICTS + 1):
+            customer_perm = rng.permutation(customers_per_district)
+            for o_id in range(init_orders_per_district):
+                ol_cnt = int(rng.integers(5, 16))
+                delivered = o_id < undelivered_from
+                orders_cols["o_w_id"].append(w)
+                orders_cols["o_d_id"].append(d)
+                orders_cols["o_id"].append(o_id)
+                orders_cols["o_c_id"].append(
+                    int(customer_perm[o_id % customers_per_district])
+                )
+                orders_cols["o_carrier_id"].append(
+                    int(rng.integers(1, 11)) if delivered else 0
+                )
+                orders_cols["o_ol_cnt"].append(ol_cnt)
+                if not delivered:
+                    no_cols["no_w_id"].append(w)
+                    no_cols["no_d_id"].append(d)
+                    no_cols["no_o_id"].append(o_id)
+                for line in range(1, ol_cnt + 1):
+                    ol_cols["ol_w_id"].append(w)
+                    ol_cols["ol_d_id"].append(d)
+                    ol_cols["ol_o_id"].append(o_id)
+                    ol_cols["ol_number"].append(line)
+                    ol_cols["ol_i_id"].append(int(rng.integers(0, n_items)))
+                    ol_cols["ol_supply_w_id"].append(w)
+                    ol_cols["ol_quantity"].append(5)
+                    ol_cols["ol_amount"].append(
+                        0.0 if delivered else float(rng.uniform(0.01, 9_999.99))
+                    )
+                    ol_cols["ol_delivery_d"].append(1 if delivered else 0)
+
+    orders = db.create_table(
+        TableSchema(
+            ORDERS,
+            [
+                ColumnDef("o_w_id", DataType.INT64),
+                ColumnDef("o_d_id", DataType.INT64),
+                ColumnDef("o_id", DataType.INT64),
+                ColumnDef("o_c_id", DataType.INT64),
+                ColumnDef("o_carrier_id", DataType.INT64),
+                ColumnDef("o_ol_cnt", DataType.INT64),
+            ],
+            primary_key=("o_w_id", "o_d_id", "o_id"),
+            partition_key="o_w_id",
+        ),
+        capacity=max(64, len(orders_cols["o_id"])),
+    )
+    orders.append_columns({k: np.asarray(v) for k, v in orders_cols.items()})
+
+    new_order = db.create_table(
+        TableSchema(
+            NEW_ORDER,
+            [
+                ColumnDef("no_w_id", DataType.INT64),
+                ColumnDef("no_d_id", DataType.INT64),
+                ColumnDef("no_o_id", DataType.INT64),
+            ],
+            primary_key=("no_w_id", "no_d_id", "no_o_id"),
+            partition_key="no_w_id",
+        ),
+        capacity=max(64, len(no_cols["no_o_id"])),
+    )
+    new_order.append_columns({k: np.asarray(v) for k, v in no_cols.items()})
+
+    order_line = db.create_table(
+        TableSchema(
+            ORDER_LINE,
+            [
+                ColumnDef("ol_w_id", DataType.INT64),
+                ColumnDef("ol_d_id", DataType.INT64),
+                ColumnDef("ol_o_id", DataType.INT64),
+                ColumnDef("ol_number", DataType.INT64),
+                ColumnDef("ol_i_id", DataType.INT64),
+                ColumnDef("ol_supply_w_id", DataType.INT64),
+                ColumnDef("ol_quantity", DataType.INT64),
+                ColumnDef("ol_amount", DataType.FLOAT64),
+                ColumnDef("ol_delivery_d", DataType.INT64),
+            ],
+            primary_key=("ol_w_id", "ol_d_id", "ol_o_id", "ol_number"),
+            partition_key="ol_w_id",
+        ),
+        capacity=max(64, len(ol_cols["ol_o_id"])),
+    )
+    order_line.append_columns({k: np.asarray(v) for k, v in ol_cols.items()})
+
+    db.create_index("warehouse_pk", WAREHOUSE, ["w_id"])
+    db.create_index("district_pk", DISTRICT, ["d_w_id", "d_id"])
+    db.create_index("customer_pk", CUSTOMER, ["c_w_id", "c_d_id", "c_id"])
+    db.create_index(
+        "customer_name", CUSTOMER, ["c_w_id", "c_d_id", "c_last"], unique=False
+    )
+    db.create_index("item_pk", ITEM, ["i_id"])
+    db.create_index("stock_pk", STOCK, ["s_w_id", "s_i_id"])
+    db.create_index("orders_pk", ORDERS, ["o_w_id", "o_d_id", "o_id"])
+    db.create_index(
+        "orders_by_customer", ORDERS, ["o_w_id", "o_d_id", "o_c_id"],
+        unique=False,
+    )
+    db.create_index(
+        "new_order_by_district", NEW_ORDER, ["no_w_id", "no_d_id"],
+        unique=False,
+    )
+    db.create_index(
+        "order_line_by_order", ORDER_LINE, ["ol_w_id", "ol_d_id", "ol_o_id"],
+        unique=False,
+    )
+    return db
+
+
+# ---------------------------------------------------------------------------
+# Stored procedures.
+# ---------------------------------------------------------------------------
+def _new_order(
+    w_id: int, d_id: int, c_id: int,
+    item_ids: Tuple[int, ...], supply_ws: Tuple[int, ...],
+    quantities: Tuple[int, ...],
+) -> op_ir.OpStream:
+    # Phase 1: validate every item id (H-Store two-phase rewrite), read
+    # the pricing inputs.
+    item_rows = []
+    for i_id in item_ids:
+        item_row = yield op_ir.IndexProbe("item_pk", i_id)
+        if item_row < 0:
+            yield op_ir.Abort("invalid item id")
+        item_rows.append(item_row)
+    w_row = yield op_ir.IndexProbe("warehouse_pk", w_id)
+    w_tax = yield op_ir.Read(WAREHOUSE, "w_tax", w_row)
+    d_row = yield op_ir.IndexProbe("district_pk", (w_id, d_id))
+    d_tax = yield op_ir.Read(DISTRICT, "d_tax", d_row)
+    c_row = yield op_ir.IndexProbe("customer_pk", (w_id, d_id, c_id))
+    if c_row < 0:
+        yield op_ir.Abort("no such customer")
+    discount = yield op_ir.Read(CUSTOMER, "c_discount", c_row)
+
+    # Phase 2: allocate the order id and write everything.
+    o_id = yield op_ir.Read(DISTRICT, "d_next_o_id", d_row)
+    yield op_ir.Write(DISTRICT, "d_next_o_id", d_row, o_id + 1)
+    yield op_ir.InsertRow(
+        ORDERS, (w_id, d_id, o_id, c_id, 0, len(item_ids))
+    )
+    yield op_ir.InsertRow(NEW_ORDER, (w_id, d_id, o_id))
+    total = 0.0
+    for line, (i_id, supply_w, qty, item_row) in enumerate(
+        zip(item_ids, supply_ws, quantities, item_rows), start=1
+    ):
+        price = yield op_ir.Read(ITEM, "i_price", item_row)
+        s_row = yield op_ir.IndexProbe("stock_pk", (supply_w, i_id))
+        s_qty = yield op_ir.Read(STOCK, "s_quantity", s_row)
+        if s_qty - qty >= 10:
+            new_qty = s_qty - qty
+        else:
+            new_qty = s_qty - qty + 91
+        yield op_ir.Write(STOCK, "s_quantity", s_row, new_qty)
+        s_ytd = yield op_ir.Read(STOCK, "s_ytd", s_row)
+        yield op_ir.Write(STOCK, "s_ytd", s_row, s_ytd + qty)
+        s_cnt = yield op_ir.Read(STOCK, "s_order_cnt", s_row)
+        yield op_ir.Write(STOCK, "s_order_cnt", s_row, s_cnt + 1)
+        if supply_w != w_id:
+            s_rem = yield op_ir.Read(STOCK, "s_remote_cnt", s_row)
+            yield op_ir.Write(STOCK, "s_remote_cnt", s_row, s_rem + 1)
+        amount = float(qty) * price
+        total += amount
+        yield op_ir.InsertRow(
+            ORDER_LINE,
+            (w_id, d_id, o_id, line, i_id, supply_w, qty, amount, 0),
+        )
+    yield op_ir.Compute(8)  # tax arithmetic
+    return total * (1.0 + w_tax + d_tax) * (1.0 - discount)
+
+
+def _payment(
+    w_id: int, d_id: int, c_w_id: int, c_d_id: int, c_id: int, amount: float
+) -> op_ir.OpStream:
+    c_row = yield op_ir.IndexProbe("customer_pk", (c_w_id, c_d_id, c_id))
+    if c_row < 0:
+        yield op_ir.Abort("no such customer")
+    w_row = yield op_ir.IndexProbe("warehouse_pk", w_id)
+    d_row = yield op_ir.IndexProbe("district_pk", (w_id, d_id))
+    w_ytd = yield op_ir.Read(WAREHOUSE, "w_ytd", w_row)
+    yield op_ir.Write(WAREHOUSE, "w_ytd", w_row, w_ytd + amount)
+    d_ytd = yield op_ir.Read(DISTRICT, "d_ytd", d_row)
+    yield op_ir.Write(DISTRICT, "d_ytd", d_row, d_ytd + amount)
+    balance = yield op_ir.Read(CUSTOMER, "c_balance", c_row)
+    yield op_ir.Write(CUSTOMER, "c_balance", c_row, balance - amount)
+    ytd_payment = yield op_ir.Read(CUSTOMER, "c_ytd_payment", c_row)
+    yield op_ir.Write(CUSTOMER, "c_ytd_payment", c_row, ytd_payment + amount)
+    pay_cnt = yield op_ir.Read(CUSTOMER, "c_payment_cnt", c_row)
+    yield op_ir.Write(CUSTOMER, "c_payment_cnt", c_row, pay_cnt + 1)
+    yield op_ir.InsertRow(
+        HISTORY, (c_w_id, c_d_id, c_id, w_id, d_id, amount)
+    )
+    return balance - amount
+
+
+def _customer_by_name(w_id: int, d_id: int, c_last: str) -> op_ir.OpStream:
+    """The split lookup half: last name -> customer id (read-only)."""
+    rows = yield op_ir.IndexProbe("customer_name", (w_id, d_id, c_last))
+    if not rows:
+        yield op_ir.Abort("no customer with that name")
+    # The spec picks the row at position ceil(n/2) of the name-ordered
+    # set; row ids are load-ordered by c_id here, which matches.
+    chosen = rows[(len(rows)) // 2]
+    c_id = yield op_ir.Read(CUSTOMER, "c_id", chosen)
+    return int(c_id)
+
+
+def _order_status(w_id: int, d_id: int, c_id: int) -> op_ir.OpStream:
+    c_row = yield op_ir.IndexProbe("customer_pk", (w_id, d_id, c_id))
+    if c_row < 0:
+        yield op_ir.Abort("no such customer")
+    balance = yield op_ir.Read(CUSTOMER, "c_balance", c_row)
+    order_rows = yield op_ir.IndexProbe(
+        "orders_by_customer", (w_id, d_id, c_id)
+    )
+    if not order_rows:
+        yield op_ir.Abort("customer has no orders")
+    last = order_rows[-1]
+    o_id = yield op_ir.Read(ORDERS, "o_id", last)
+    carrier = yield op_ir.Read(ORDERS, "o_carrier_id", last)
+    line_rows = yield op_ir.IndexProbe(
+        "order_line_by_order", (w_id, d_id, int(o_id))
+    )
+    total = 0.0
+    for ol_row in line_rows:
+        amount = yield op_ir.Read(ORDER_LINE, "ol_amount", ol_row)
+        total += amount
+    return (float(balance), int(o_id), int(carrier), total)
+
+
+def _delivery(w_id: int, d_id: int, carrier_id: int) -> op_ir.OpStream:
+    """Deliver the oldest undelivered order of one district.
+
+    The spec's DELIVERY is a deferred batch covering all ten districts
+    of a warehouse; like H-Store, it is rewritten as ten independent
+    per-district transactions (the spec explicitly allows deferred
+    execution). A monolithic version would write every district subtree
+    at once and pinch the T-dependency graph to one transaction per
+    warehouse.
+    """
+    no_rows = yield op_ir.IndexProbe("new_order_by_district", (w_id, d_id))
+    if not no_rows:
+        yield op_ir.Abort("no undelivered order")
+    oldest = no_rows[0]
+    o_id = yield op_ir.Read(NEW_ORDER, "no_o_id", oldest)
+    o_row = yield op_ir.IndexProbe("orders_pk", (w_id, d_id, int(o_id)))
+    c_id = yield op_ir.Read(ORDERS, "o_c_id", o_row)
+    line_rows = yield op_ir.IndexProbe(
+        "order_line_by_order", (w_id, d_id, int(o_id))
+    )
+    # Phase 2: writes only (two-phase rewrite).
+    yield op_ir.DeleteRow(NEW_ORDER, oldest)
+    yield op_ir.Write(ORDERS, "o_carrier_id", o_row, carrier_id)
+    total = 0.0
+    for ol_row in line_rows:
+        amount = yield op_ir.Read(ORDER_LINE, "ol_amount", ol_row)
+        total += amount
+        yield op_ir.Write(ORDER_LINE, "ol_delivery_d", ol_row, 1)
+    c_row = yield op_ir.IndexProbe(
+        "customer_pk", (w_id, d_id, int(c_id))
+    )
+    balance = yield op_ir.Read(CUSTOMER, "c_balance", c_row)
+    yield op_ir.Write(CUSTOMER, "c_balance", c_row, balance + total)
+    del_cnt = yield op_ir.Read(CUSTOMER, "c_delivery_cnt", c_row)
+    yield op_ir.Write(CUSTOMER, "c_delivery_cnt", c_row, del_cnt + 1)
+    return total
+
+
+def _stock_level(w_id: int, d_id: int, threshold: int) -> op_ir.OpStream:
+    d_row = yield op_ir.IndexProbe("district_pk", (w_id, d_id))
+    next_o_id = yield op_ir.Read(DISTRICT, "d_next_o_id", d_row)
+    low = 0
+    seen = set()
+    for o_id in range(max(0, int(next_o_id) - 20), int(next_o_id)):
+        line_rows = yield op_ir.IndexProbe(
+            "order_line_by_order", (w_id, d_id, o_id)
+        )
+        for ol_row in line_rows:
+            i_id = yield op_ir.Read(ORDER_LINE, "ol_i_id", ol_row)
+            if i_id in seen:
+                continue
+            seen.add(i_id)
+            s_row = yield op_ir.IndexProbe("stock_pk", (w_id, int(i_id)))
+            qty = yield op_ir.Read(STOCK, "s_quantity", s_row)
+            if qty < threshold:
+                low += 1
+    return low
+
+
+# ---------------------------------------------------------------------------
+# Access sets / partitions.
+# ---------------------------------------------------------------------------
+def _new_order_access(params) -> List[Access]:
+    w_id, d_id = params[0], params[1]
+    item_ids, supply_ws = params[3], params[4]
+    accesses = [Access(_wd_item(w_id, d_id), write=True)]
+    for i_id, supply_w in sorted(set(zip(item_ids, supply_ws))):
+        accesses.append(Access(_stock_item(supply_w, i_id), write=True))
+    return accesses
+
+
+def _payment_access(params) -> List[Access]:
+    w_id, d_id, c_w_id, c_d_id = params[0], params[1], params[2], params[3]
+    return [
+        Access(_w_item(w_id), write=True),
+        Access(_wd_item(w_id, d_id), write=True),
+        Access(_wd_item(c_w_id, c_d_id), write=True),
+    ]
+
+
+def _order_status_access(params) -> List[Access]:
+    return [Access(_wd_item(params[0], params[1]), write=False)]
+
+
+def _delivery_access(params) -> List[Access]:
+    w_id, d_id = params[0], params[1]
+    return [Access(_wd_item(w_id, d_id), write=True)]
+
+
+def _stock_level_access(params) -> List[Access]:
+    # The stock rows STOCK_LEVEL reads are derived from the district's
+    # recent order lines, which cannot be enumerated from the
+    # parameters alone. Per Appendix B's worst-case rule ("if the
+    # transaction conflicting relationship cannot be determined on the
+    # data item level, we determine the conflict at a coarser
+    # granularity"), the read is recorded at warehouse-stock
+    # granularity.
+    w_id, d_id = params[0], params[1]
+    return [
+        Access(_wd_item(w_id, d_id), write=False),
+        Access(_stock_item(w_id, 0), write=False),
+    ]
+
+
+def _lookup_access(params) -> List[Access]:
+    return [Access(_wd_item(params[0], params[1]), write=False)]
+
+
+def _make_partition_fn(access_fn):
+    def partition_fn(params):
+        return _single_warehouse_or_none(access_fn(params))
+
+    return partition_fn
+
+
+_ORDER_TABLES = frozenset({DISTRICT, ORDERS, NEW_ORDER, ORDER_LINE, STOCK})
+
+PROCEDURES = [
+    TransactionType(
+        name="tpcc_new_order",
+        body=_new_order,
+        access_fn=_new_order_access,
+        partition_fn=_make_partition_fn(_new_order_access),
+        two_phase=True,
+        conflict_classes=frozenset({WAREHOUSE, DISTRICT, CUSTOMER}) | _ORDER_TABLES,
+    ),
+    TransactionType(
+        name="tpcc_payment",
+        body=_payment,
+        access_fn=_payment_access,
+        partition_fn=_make_partition_fn(_payment_access),
+        two_phase=True,
+        conflict_classes=frozenset({WAREHOUSE, DISTRICT, CUSTOMER, HISTORY}),
+    ),
+    TransactionType(
+        name="tpcc_customer_by_name",
+        body=_customer_by_name,
+        access_fn=_lookup_access,
+        partition_fn=_make_partition_fn(_lookup_access),
+        two_phase=True,
+        conflict_classes=frozenset({CUSTOMER}),
+    ),
+    TransactionType(
+        name="tpcc_order_status",
+        body=_order_status,
+        access_fn=_order_status_access,
+        partition_fn=_make_partition_fn(_order_status_access),
+        two_phase=True,
+        conflict_classes=frozenset({CUSTOMER, ORDERS, ORDER_LINE}),
+    ),
+    TransactionType(
+        name="tpcc_delivery",
+        body=_delivery,
+        access_fn=_delivery_access,
+        partition_fn=_make_partition_fn(_delivery_access),
+        two_phase=True,
+        conflict_classes=frozenset({CUSTOMER}) | _ORDER_TABLES,
+    ),
+    TransactionType(
+        name="tpcc_stock_level",
+        body=_stock_level,
+        access_fn=_stock_level_access,
+        partition_fn=_make_partition_fn(_stock_level_access),
+        two_phase=True,
+        conflict_classes=frozenset({DISTRICT, ORDER_LINE, STOCK}),
+    ),
+]
+
+
+# ---------------------------------------------------------------------------
+# Transaction generation.
+# ---------------------------------------------------------------------------
+def generate_transactions(
+    db: Database,
+    n: int,
+    *,
+    seed: int = 1,
+    mix: List[Tuple[str, float]] | None = None,
+    remote_item_prob: float = 0.0,
+    remote_payment_prob: float = 0.0,
+    by_name_prob: float = 0.6,
+    invalid_item_prob: float = 0.01,
+) -> List[TxnSpec]:
+    """Draw ``n`` logical transactions from the TPC-C mix.
+
+    ``remote_*`` default to 0 (single-partition, the configuration the
+    public-benchmark comparison assumes); pass the spec values (0.01
+    remote items, 0.15 remote payments) to exercise PART's TPL
+    fallback. By-name PAYMENT/ORDER_STATUS emit their lookup halves
+    first (Appendix E splits).
+    """
+    rng = make_rng(seed)
+    n_w = db.table(WAREHOUSE).n_rows
+    n_items = db.table(ITEM).n_rows
+    customers = db.table(CUSTOMER).n_rows // (n_w * DISTRICTS)
+    # The spec's NURand A constants (8191 items / 1023 customers)
+    # assume 100k items / 3000 customers; scale A with the actual
+    # ranges so the hot-set *fraction* matches the spec instead of
+    # collapsing onto a handful of rows.
+    a_item = min(8191, max(15, (1 << max(1, (n_items // 12)).bit_length()) - 1))
+    a_cust = min(1023, max(15, (1 << max(1, (customers // 3)).bit_length()) - 1))
+    picks = choose_mix(rng, mix or DEFAULT_MIX, n)
+    out: List[TxnSpec] = []
+    for name in picks:
+        w_id = int(rng.integers(0, n_w))
+        d_id = int(rng.integers(1, DISTRICTS + 1))
+        if name == "tpcc_new_order":
+            ol_cnt = int(rng.integers(5, 16))
+            item_ids, supply_ws, qtys = [], [], []
+            for line in range(ol_cnt):
+                i_id = nurand(rng, a_item, 0, n_items - 1)
+                if rng.random() < invalid_item_prob and line == ol_cnt - 1:
+                    i_id = n_items + 10_000  # unused item: aborts in phase 1
+                supply = w_id
+                if n_w > 1 and rng.random() < remote_item_prob:
+                    supply = int(rng.integers(0, n_w))
+                item_ids.append(int(i_id))
+                supply_ws.append(supply)
+                qtys.append(int(rng.integers(1, 11)))
+            c_id = nurand(rng, a_cust, 0, customers - 1)
+            out.append(
+                (name, (w_id, d_id, c_id, tuple(item_ids), tuple(supply_ws),
+                        tuple(qtys)))
+            )
+        elif name == "tpcc_payment":
+            c_w_id, c_d_id = w_id, d_id
+            if n_w > 1 and rng.random() < remote_payment_prob:
+                c_w_id = int(rng.integers(0, n_w))
+                c_d_id = int(rng.integers(1, DISTRICTS + 1))
+            amount = float(rng.uniform(1.0, 5_000.0))
+            c_id = nurand(rng, a_cust, 0, customers - 1)
+            if rng.random() < by_name_prob:
+                c_last = tpcc_last_name(nurand(rng, 255, 0, 999))
+                out.append(
+                    ("tpcc_customer_by_name", (c_w_id, c_d_id, c_last))
+                )
+            out.append((name, (w_id, d_id, c_w_id, c_d_id, c_id, amount)))
+        elif name == "tpcc_order_status":
+            c_id = nurand(rng, a_cust, 0, customers - 1)
+            if rng.random() < by_name_prob:
+                c_last = tpcc_last_name(nurand(rng, 255, 0, 999))
+                out.append(("tpcc_customer_by_name", (w_id, d_id, c_last)))
+            out.append((name, (w_id, d_id, c_id)))
+        elif name == "tpcc_delivery":
+            carrier = int(rng.integers(1, 11))
+            for d in range(1, DISTRICTS + 1):
+                out.append((name, (w_id, d, carrier)))
+        elif name == "tpcc_stock_level":
+            out.append((name, (w_id, d_id, int(rng.integers(10, 21)))))
+        else:  # pragma: no cover - mix validated upstream
+            raise ValueError(f"unknown TPC-C type {name!r}")
+    return out

@@ -1,0 +1,136 @@
+"""End-to-end tests of the GPUTx engine facade."""
+
+import pytest
+
+from repro import GPUTx
+from repro.errors import ConfigError
+from repro.workloads import micro
+
+from tests.conftest import BANK_PROCEDURES, build_bank_db
+
+
+class TestEngineLifecycle:
+    def test_submit_run_collect(self):
+        engine = GPUTx(build_bank_db(8), procedures=BANK_PROCEDURES)
+        engine.submit("deposit", (0, 5))
+        engine.submit("audit", (0,))
+        result = engine.run_bulk(strategy="kset")
+        assert len(result.results) == 2
+        assert engine.results.get(0).committed
+        assert engine.results.get(1).value == (105, 0)
+
+    def test_empty_pool_is_noop(self):
+        engine = GPUTx(build_bank_db(4), procedures=BANK_PROCEDURES)
+        result = engine.run_bulk(strategy="kset")
+        assert result.results == []
+        assert result.seconds == 0.0
+
+    def test_max_txns_leaves_remainder_in_pool(self):
+        engine = GPUTx(build_bank_db(8), procedures=BANK_PROCEDURES)
+        for i in range(10):
+            engine.submit("deposit", (i % 8, 1))
+        engine.run_bulk(strategy="kset", max_txns=4)
+        assert len(engine.pool) == 6
+        engine.run_bulk(strategy="kset")
+        assert len(engine.pool) == 0
+        assert len(engine.results) == 10
+
+    def test_unknown_strategy_rejected(self):
+        engine = GPUTx(build_bank_db(4), procedures=BANK_PROCEDURES)
+        engine.submit("deposit", (0, 1))
+        with pytest.raises(ConfigError, match="unknown strategy"):
+            engine.run_bulk(strategy="warp-drive")
+
+    def test_late_registration(self):
+        engine = GPUTx(build_bank_db(4))
+        engine.register(BANK_PROCEDURES[0])
+        engine.submit("deposit", (1, 2))
+        result = engine.run_bulk(strategy="kset")
+        assert result.committed == 1
+
+    def test_initialize_device_charges_pcie(self):
+        engine = GPUTx(build_bank_db(1024), procedures=BANK_PROCEDURES)
+        seconds = engine.initialize_device()
+        assert seconds > 0
+        ledger = engine.pcie.ledger
+        assert ledger.bytes_by_component["initialization"] > 0
+
+    def test_profile_pool(self):
+        engine = GPUTx(build_bank_db(8), procedures=BANK_PROCEDURES)
+        for i in range(6):
+            engine.submit("deposit", (0, 1))
+        profile = engine.profile_pool()
+        assert profile.size == 6
+        assert profile.w0 == 1
+        assert len(engine.pool) == 6  # profiling does not consume
+
+    def test_sequential_bulks_share_state(self):
+        engine = GPUTx(build_bank_db(4), procedures=BANK_PROCEDURES)
+        engine.submit("deposit", (0, 10))
+        engine.run_bulk(strategy="kset")
+        engine.submit("deposit", (0, 10))
+        engine.run_bulk(strategy="part")
+        assert engine.db.table("accounts").read("balance", 0) == 120
+
+
+class TestArrivalSimulation:
+    """Figures 9 / 15: response time vs. throughput."""
+
+    @staticmethod
+    def make_engine(n_tuples=256):
+        db = micro.build_database(n_tuples)
+        return GPUTx(db, procedures=micro.build_procedures(4, x=1))
+
+    @staticmethod
+    def workload(n, n_tuples=256):
+        return micro.generate_transactions(
+            n, n_tuples=n_tuples, n_branches=4, seed=3
+        )
+
+    def test_all_transactions_executed(self):
+        engine = self.make_engine()
+        report = engine.simulate_arrivals(
+            self.workload(400), arrival_rate_tps=2e6,
+            interval_s=1e-4, strategy="kset",
+        )
+        assert report.executed == 400
+        assert report.avg_response_s > 0
+        assert report.max_response_s >= report.avg_response_s
+        assert sum(report.bulk_sizes) == 400
+
+    def test_larger_interval_larger_response_and_bulks(self):
+        def run(interval):
+            engine = self.make_engine()
+            return engine.simulate_arrivals(
+                self.workload(600), arrival_rate_tps=4e6,
+                interval_s=interval, strategy="kset",
+            )
+
+        small = run(2e-5)
+        large = run(8e-4)
+        assert large.avg_response_s > small.avg_response_s
+        assert max(large.bulk_sizes) > max(small.bulk_sizes)
+
+    def test_throughput_saturates_with_interval(self):
+        """The paper's knee: throughput rises sharply, then flattens."""
+        def tput(interval):
+            engine = self.make_engine()
+            return engine.simulate_arrivals(
+                self.workload(800), arrival_rate_tps=4e6,
+                interval_s=interval, strategy="kset",
+            ).throughput_tps
+
+        t_small, t_mid, t_large = (
+            tput(1e-5), tput(2e-4), tput(1e-3)
+        )
+        assert t_mid > t_small
+        gain_late = (t_large - t_mid) / t_mid
+        gain_early = (t_mid - t_small) / t_small
+        assert gain_early > gain_late
+
+    def test_bad_parameters_rejected(self):
+        engine = self.make_engine()
+        with pytest.raises(ConfigError):
+            engine.simulate_arrivals(self.workload(10), 0, 1e-3)
+        with pytest.raises(ConfigError):
+            engine.simulate_arrivals(self.workload(10), 1e6, 0)

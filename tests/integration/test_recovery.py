@@ -1,0 +1,145 @@
+"""Failure injection: undo logging, rollback, and TPL cascades.
+
+The bank's "risky" type aborts *after* writing (not two-phase), which
+forces the registry to require undo logs for every type sharing its
+conflict class (Appendix D), and exercises:
+
+* post-kernel rollback of the aborter's writes (all strategies);
+* TPL's cascading rollback of the sub-DAG rooted at the aborter;
+* PART's inline compensation (partition-mates run after the rollback).
+"""
+
+import pytest
+
+from repro import GPUTx
+from repro.core.procedure import ProcedureRegistry
+
+from tests.conftest import (
+    BANK_PROCEDURES,
+    build_bank_db,
+    make_transactions,
+    serial_oracle_state,
+)
+
+
+def engine_for(db):
+    return GPUTx(db, procedures=BANK_PROCEDURES)
+
+
+class TestUndoClassification:
+    def test_risky_forces_undo_on_conflicting_types(self):
+        registry = ProcedureRegistry()
+        registry.register_many(BANK_PROCEDURES)
+        # Every bank type shares the 'accounts' conflict class.
+        assert registry.needs_undo("deposit")
+        assert registry.needs_undo("risky")
+
+
+class TestIsolatedAbort:
+    @pytest.mark.parametrize("strategy", ["kset", "part", "adhoc", "tpl"])
+    def test_lone_risky_abort_fully_rolled_back(self, strategy):
+        db = build_bank_db(8)
+        engine = engine_for(db)
+        engine.submit("risky", (3, 50, 1))
+        result = engine.run_bulk(strategy=strategy)
+        assert result.aborted == 1
+        table = db.table("accounts")
+        assert table.read("balance", 3) == 100
+        assert table.read("version", 3) == 0
+
+    @pytest.mark.parametrize("strategy", ["kset", "part", "adhoc"])
+    def test_abort_then_disjoint_successors_match_oracle(self, strategy):
+        specs = [
+            ("risky", (0, 50, 1)),   # aborts after writing account 0
+            ("deposit", (1, 10)),
+            ("deposit", (2, 20)),
+        ]
+        db = build_bank_db(8)
+        engine = engine_for(db)
+        engine.submit_many(specs)
+        engine.run_bulk(strategy=strategy)
+        assert db.logical_state() == serial_oracle_state(specs, 8)
+
+
+class TestOrderedStrategiesAfterDirtyAbort:
+    """K-SET/PART/ad-hoc order conflicting work after the aborter, so a
+    dirty abort rolls back before successors run -- the final state
+    matches the serial oracle even for conflicting successors."""
+
+    @pytest.mark.parametrize("strategy", ["kset", "part", "adhoc"])
+    def test_conflicting_successor_sees_clean_state(self, strategy):
+        specs = [
+            ("risky", (0, 50, 1)),   # aborts; +50 must vanish
+            ("deposit", (0, 7)),     # must apply to the clean balance
+        ]
+        db = build_bank_db(4)
+        engine = engine_for(db)
+        engine.submit_many(specs)
+        result = engine.run_bulk(strategy=strategy)
+        assert result.aborted == 1
+        assert db.table("accounts").read("balance", 0) == 107
+        assert db.logical_state() == serial_oracle_state(specs, 4)
+
+
+class TestTplCascade:
+    def test_cascaded_rollback_of_sub_dag(self):
+        """With TPL, successors of a dirty aborter may have executed on
+        dirty state; recovery rolls back the whole sub-DAG and marks
+        them as cascaded aborts (Appendix D)."""
+        specs = [
+            ("risky", (0, 50, 1)),   # dirty abort on account 0
+            ("deposit", (0, 7)),     # conflicting successor
+            ("deposit", (1, 9)),     # unrelated: must survive
+        ]
+        db = build_bank_db(4)
+        engine = engine_for(db)
+        engine.submit_many(specs)
+        result = engine.run_bulk(strategy="tpl")
+        assert result.cascaded_aborts == [1]
+        table = db.table("accounts")
+        assert table.read("balance", 0) == 100   # both rolled back
+        assert table.read("balance", 1) == 109   # unrelated survives
+        cascaded = [r for r in result.results if r.abort_reason ==
+                    "cascaded-rollback"]
+        assert [r.txn_id for r in cascaded] == [1]
+
+    def test_clean_abort_does_not_cascade(self):
+        """A two-phase abort (no writes) must not roll back successors."""
+        specs = [
+            ("transfer", (0, 1, 10_000)),  # aborts before writing
+            ("deposit", (0, 7)),
+        ]
+        db = build_bank_db(4)
+        engine = engine_for(db)
+        engine.submit_many(specs)
+        result = engine.run_bulk(strategy="tpl")
+        assert result.cascaded_aborts == []
+        assert db.table("accounts").read("balance", 0) == 107
+
+    def test_successful_risky_commits_normally(self):
+        db = build_bank_db(4)
+        engine = engine_for(db)
+        engine.submit("risky", (2, 30, 0))  # fail flag off
+        result = engine.run_bulk(strategy="tpl")
+        assert result.committed == 1
+        assert db.table("accounts").read("balance", 2) == 130
+        assert db.table("accounts").read("version", 2) == 1
+
+
+class TestUndoLoggingCost:
+    def test_undo_capture_charges_extra_traffic(self):
+        """Types requiring undo logs pay for the log writes (App. D)."""
+
+        def run(with_risky_registered: bool) -> int:
+            procs = BANK_PROCEDURES if with_risky_registered else [
+                t for t in BANK_PROCEDURES if t.name != "risky"
+            ]
+            db = build_bank_db(8)
+            engine = GPUTx(db, procedures=procs)
+            for i in range(8):
+                engine.submit("deposit", (i, 5))
+            result = engine.run_bulk(strategy="kset")
+            report = result.kernel_reports[0]
+            return sum(report.stats.mem_transactions)
+
+        assert run(True) > run(False)

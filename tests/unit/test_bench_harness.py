@@ -1,0 +1,48 @@
+"""Unit tests for the figure-reproduction harness."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import FigureResult, save_result, scaled
+
+
+class TestFigureResult:
+    def make(self) -> FigureResult:
+        return FigureResult(
+            figure_id="FigXX",
+            title="Test figure",
+            columns=["name", "value"],
+            rows=[("alpha", 1.5), ("beta", 12345.678), ("gamma", 0.0001)],
+            notes=["a note"],
+        )
+
+    def test_format_table_is_markdown(self):
+        text = self.make().format_table()
+        assert text.startswith("## FigXX: Test figure")
+        assert "| name" in text
+        assert "| alpha" in text
+        assert "- a note" in text
+
+    def test_float_formatting(self):
+        text = self.make().format_table()
+        assert "1.50" in text          # plain two-decimal
+        assert "1.23e+04" in text      # large -> scientific
+        assert "0.0001" in text        # small -> scientific
+
+    def test_column_accessor(self):
+        result = self.make()
+        assert result.column("name") == ["alpha", "beta", "gamma"]
+        with pytest.raises(ValueError):
+            result.column("missing")
+
+    def test_save_result_writes_file(self, tmp_path):
+        path = save_result(self.make(), directory=str(tmp_path))
+        assert os.path.exists(path)
+        with open(path, encoding="utf-8") as handle:
+            assert "Test figure" in handle.read()
+
+
+class TestScaling:
+    def test_default_scale_is_identity(self):
+        assert scaled(100) in (100, 800)  # 800 under REPRO_SCALE=paper

@@ -1,0 +1,92 @@
+"""Unit tests for the PCIe model and the DictStore reference store."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.gpu.memory import DictStore
+from repro.gpu.spec import C1060
+from repro.gpu.transfer import PCIeModel
+
+
+class TestPCIeModel:
+    def test_transfer_time_is_latency_plus_bandwidth(self):
+        pcie = PCIeModel()
+        nbytes = 10**6
+        expected = C1060.pcie_latency_s + nbytes / C1060.pcie_bandwidth_bytes_per_s
+        assert pcie.transfer_seconds(nbytes) == pytest.approx(expected)
+
+    def test_zero_bytes_is_free(self):
+        assert PCIeModel().transfer_seconds(0) == 0.0
+
+    def test_ledger_accumulates_by_component(self):
+        pcie = PCIeModel()
+        pcie.to_device(1000, component="input")
+        pcie.to_device(2000, component="input")
+        pcie.to_host(500, component="output")
+        pcie.initialize(10**6)
+        ledger = pcie.ledger
+        assert ledger.bytes_by_component["input"] == 3000
+        assert ledger.bytes_by_component["output"] == 500
+        assert ledger.bytes_by_component["initialization"] == 10**6
+        assert ledger.total_seconds > 0
+
+    def test_initialization_dwarfs_per_bulk_input(self):
+        # Figure 16's shape: initialization >> input/output per bulk.
+        pcie = PCIeModel()
+        init = pcie.initialize(500 * 2**20)   # 500 MB of tables+indexes
+        inp = pcie.to_device(64 * 2**10)      # 64 KB of signatures
+        assert init > 100 * inp
+
+
+class TestDictStore:
+    def make(self):
+        return DictStore({"t": {"a": [1, 2, 3], "b": [4.0, 5.0, 6.0]}})
+
+    def test_read_write_roundtrip(self):
+        store = self.make()
+        old = store.write("t", "a", 1, 99)
+        assert old == 2
+        assert store.read("t", "a", 1) == 99
+
+    def test_bad_read_raises(self):
+        with pytest.raises(StorageError):
+            self.make().read("t", "nope", 0)
+        with pytest.raises(StorageError):
+            self.make().read("t", "a", 77)
+
+    def test_column_layout_addresses_are_contiguous(self):
+        store = self.make()
+        a0, w = store.address_of("t", "a", 0)
+        a1, _ = store.address_of("t", "a", 1)
+        assert a1 - a0 == w
+
+    def test_different_columns_in_different_regions(self):
+        store = self.make()
+        a0, _ = store.address_of("t", "a", 0)
+        b0, _ = store.address_of("t", "b", 0)
+        assert a0 != b0
+
+    def test_insert_buffered_until_apply(self):
+        store = self.make()
+        provisional = store.insert("t", [7, 7.0])
+        assert provisional == 3
+        with pytest.raises(StorageError):
+            store.read("t", "a", 3)
+        store.apply_batch()
+        assert store.read("t", "a", 3) == 7
+
+    def test_indexes(self):
+        store = self.make()
+        store.create_index("by_a", {1: 0, 2: 1, 3: 2})
+        assert store.probe("by_a", 2) == 1
+        assert store.probe("by_a", 99) == -1
+        assert len(store.probe_cost_addresses("by_a", 2)) == 2
+
+    def test_insert_arity_checked_at_apply(self):
+        store = self.make()
+        store.insert("t", [1])
+        with pytest.raises(StorageError):
+            store.apply_batch()
+
+    def test_row_width(self):
+        assert self.make().row_width("t") == 16

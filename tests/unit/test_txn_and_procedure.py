@@ -1,0 +1,169 @@
+"""Unit tests for transaction pools, result pools, and the registry."""
+
+import pytest
+
+from repro.core.procedure import Access, ProcedureRegistry, TransactionType
+from repro.core.txn import ResultPool, Transaction, TransactionPool, TxnResult
+from repro.errors import ProcedureError, RegistrationError
+from repro.gpu import ops
+
+
+class TestTransactionPool:
+    def test_ids_are_sequential_timestamps(self):
+        pool = TransactionPool()
+        t1 = pool.submit("a", (1,))
+        t2 = pool.submit("b", (2,))
+        assert (t1.txn_id, t2.txn_id) == (0, 1)
+        assert t1.timestamp == 0
+
+    def test_take_is_fifo(self):
+        pool = TransactionPool()
+        for i in range(5):
+            pool.submit("t", (i,))
+        first = pool.take(2)
+        assert [t.params[0] for t in first] == [0, 1]
+        assert len(pool) == 3
+        rest = pool.take()
+        assert [t.params[0] for t in rest] == [2, 3, 4]
+        assert len(pool) == 0
+
+    def test_peek_does_not_remove(self):
+        pool = TransactionPool()
+        pool.submit("t", ())
+        assert len(pool.peek()) == 1
+        assert len(pool) == 1
+
+    def test_take_matching(self):
+        pool = TransactionPool()
+        for i in range(4):
+            pool.submit("t", (i,))
+        taken = pool.take_matching([1, 3])
+        assert [t.txn_id for t in taken] == [1, 3]
+        assert [t.txn_id for t in pool] == [0, 2]
+
+    def test_external_transaction_monotonicity_enforced(self):
+        pool = TransactionPool()
+        pool.submit_transaction(Transaction(5, "t", ()))
+        with pytest.raises(ProcedureError):
+            pool.submit_transaction(Transaction(3, "t", ()))
+
+    def test_signature_bytes(self):
+        txn = Transaction(0, "t", (1, "abc", 2.5))
+        assert txn.signature_bytes() == 8 + 4 + 8 + 3 + 8
+
+
+class TestResultPool:
+    def test_record_and_query(self):
+        pool = ResultPool()
+        pool.record(TxnResult(0, "t", committed=True, value=42))
+        pool.record(TxnResult(1, "t", committed=False, abort_reason="x"))
+        assert pool.get(0).value == 42
+        assert 1 in pool
+        assert pool.committed_count == 1
+        assert pool.aborted_count == 1
+
+    def test_duplicate_rejected(self):
+        pool = ResultPool()
+        pool.record(TxnResult(0, "t", committed=True))
+        with pytest.raises(ProcedureError):
+            pool.record(TxnResult(0, "t", committed=True))
+
+    def test_output_bytes(self):
+        pool = ResultPool()
+        pool.record(TxnResult(0, "t", committed=True, value=(1, 2, 3)))
+        assert pool.output_bytes() == 8 + 1 + 24
+
+    def test_clear(self):
+        pool = ResultPool()
+        pool.record(TxnResult(0, "t", committed=True))
+        pool.clear()
+        assert len(pool) == 0
+
+
+def simple_type(name: str, two_phase: bool = True,
+                classes=frozenset({"t"})) -> TransactionType:
+    def body(row):
+        value = yield ops.Read("t", "v", row)
+        yield ops.Write("t", "v", row, value + 1)
+
+    return TransactionType(
+        name=name,
+        body=body,
+        access_fn=lambda p: [Access(int(p[0]), write=True)],
+        partition_fn=lambda p: int(p[0]),
+        two_phase=two_phase,
+        conflict_classes=classes,
+    )
+
+
+class TestProcedureRegistry:
+    def test_type_ids_are_switch_cases(self):
+        reg = ProcedureRegistry()
+        assert reg.register(simple_type("a")) == 0
+        assert reg.register(simple_type("b")) == 1
+        assert reg.type_id("b") == 1
+        assert reg.type_names == ["a", "b"]
+        assert "a" in reg and len(reg) == 2
+
+    def test_duplicate_registration_rejected(self):
+        reg = ProcedureRegistry()
+        reg.register(simple_type("a"))
+        with pytest.raises(RegistrationError):
+            reg.register(simple_type("a"))
+
+    def test_unknown_type_rejected(self):
+        reg = ProcedureRegistry()
+        with pytest.raises(RegistrationError):
+            reg.get("missing")
+        with pytest.raises(RegistrationError):
+            reg.type_id("missing")
+
+    def test_stream_enters_switch_case_first(self):
+        reg = ProcedureRegistry()
+        reg.register(simple_type("a"))
+        reg.register(simple_type("b"))
+        stream = reg.build_stream("b", (0,))
+        first = stream.send(None)
+        assert first.kind == ops.SET_BRANCH
+        assert first.tag == 1
+
+    def test_accesses_and_partition(self):
+        t = simple_type("a")
+        assert t.accesses((7,)) == [Access(7, write=True)]
+        assert t.partition_of((7,)) == 7
+        no_part = TransactionType(
+            name="x", body=t.body, access_fn=t.access_fn
+        )
+        assert no_part.partition_of((7,)) is None
+
+    def test_undo_classification_all_two_phase(self):
+        reg = ProcedureRegistry()
+        reg.register(simple_type("a"))
+        reg.register(simple_type("b"))
+        assert reg.undo_required_types() == frozenset()
+        assert not reg.needs_undo("a")
+
+    def test_undo_classification_conflicting_classes(self):
+        reg = ProcedureRegistry()
+        reg.register(simple_type("safe", classes=frozenset({"t"})))
+        reg.register(simple_type("risky", two_phase=False,
+                                 classes=frozenset({"t"})))
+        reg.register(simple_type("elsewhere", classes=frozenset({"u"})))
+        required = reg.undo_required_types()
+        assert required == {"safe", "risky"}
+        assert not reg.needs_undo("elsewhere")
+
+    def test_undo_classification_unclassified_risky_hits_everyone(self):
+        reg = ProcedureRegistry()
+        reg.register(simple_type("a"))
+        reg.register(simple_type("wild", two_phase=False,
+                                 classes=frozenset()))
+        assert reg.needs_undo("a")
+        assert reg.needs_undo("wild")
+
+    def test_registration_invalidates_undo_cache(self):
+        reg = ProcedureRegistry()
+        reg.register(simple_type("a"))
+        assert reg.undo_required_types() == frozenset()
+        reg.register(simple_type("risky", two_phase=False))
+        assert reg.needs_undo("a")
