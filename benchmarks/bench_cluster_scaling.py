@@ -1,0 +1,36 @@
+"""Cluster scaling: throughput vs. shard count and cross-shard fraction.
+
+Run: pytest benchmarks/bench_cluster_scaling.py --benchmark-only -q
+The reproduced series are printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.cluster import (
+    cluster_cross_shard,
+    cluster_pipeline,
+    cluster_shard_scaling,
+)
+
+
+def test_cluster_shard_scaling(figure_runner):
+    result = figure_runner(cluster_shard_scaling)
+    speedups = result.column("speedup_vs_1")
+    assert speedups[0] == 1.0
+    # 4 shards must beat a single device on a 0%-cross-shard bulk.
+    assert speedups[2] > 1.0
+    # More shards never slow the (0% cross) bulk down.
+    assert all(b >= a * 0.99 for a, b in zip(speedups, speedups[1:]))
+
+
+def test_cluster_cross_shard(figure_runner):
+    result = figure_runner(cluster_cross_shard)
+    ktps = result.column("ktps")
+    # Cross-shard work serialises through the leader: monotone decay.
+    assert ktps[0] > ktps[1] > ktps[2]
+
+
+def test_cluster_pipeline(figure_runner):
+    result = figure_runner(cluster_pipeline)
+    speedups = result.column("speedup")
+    assert all(s >= 1.0 for s in speedups)
+    # The double buffer must actually hide transfer behind kernels.
+    assert speedups[1] > 1.0

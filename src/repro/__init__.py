@@ -17,12 +17,20 @@ Quick start::
     print(f"{report.throughput_ktps:.1f} ktps")
 """
 
+from repro.cluster.pipeline import (
+    PipelinedRunReport,
+    PipelineScheduler,
+    run_pipelined,
+)
+from repro.cluster.router import HashShardRouter, RangeShardRouter, ShardRouter
+from repro.cluster.runtime import ClusterExecutionResult, ClusterTx
 from repro.core.engine import ArrivalReport, GPUTx
 from repro.core.executor import ExecutionResult
 from repro.core.procedure import Access, ProcedureRegistry, TransactionType
 from repro.core.txn import Transaction, TransactionPool, TxnResult
 from repro.cpu.engine import CpuEngine, CpuExecutionResult
 from repro.errors import (
+    ClusterError,
     ConfigError,
     DeadlockError,
     ExecutionError,
@@ -38,6 +46,15 @@ __version__ = "1.0.0"
 __all__ = [
     "ArrivalReport",
     "GPUTx",
+    "ClusterTx",
+    "ClusterExecutionResult",
+    "ClusterError",
+    "ShardRouter",
+    "HashShardRouter",
+    "RangeShardRouter",
+    "PipelineScheduler",
+    "PipelinedRunReport",
+    "run_pipelined",
     "ExecutionResult",
     "Access",
     "ProcedureRegistry",

@@ -1,0 +1,54 @@
+"""Sharded multi-GPU cluster runtime with pipelined bulk scheduling.
+
+Scales the single-device GPUTx engine to N simulated GPUs: a
+:class:`~repro.cluster.router.ShardRouter` partitions the database,
+:class:`~repro.cluster.runtime.ClusterTx` executes single-shard waves
+in parallel and cross-shard waves through a serial leader pass, and
+:class:`~repro.cluster.pipeline.PipelineScheduler` overlaps PCIe
+transfer of one bulk with kernel execution of the previous one.
+"""
+
+from repro.cluster.coordinator import (
+    ClusterStoreAdapter,
+    CoordinatorResult,
+    CrossShardCoordinator,
+)
+from repro.cluster.partition import key_space_of, partition_database
+from repro.cluster.pipeline import (
+    BulkTiming,
+    PipelineReport,
+    PipelineScheduler,
+    PipelinedRunReport,
+    run_pipelined,
+)
+from repro.cluster.router import (
+    HashShardRouter,
+    RangeShardRouter,
+    ShardRouter,
+    make_router,
+)
+from repro.cluster.runtime import (
+    ClusterExecutionResult,
+    ClusterTx,
+    WaveReport,
+)
+
+__all__ = [
+    "BulkTiming",
+    "ClusterExecutionResult",
+    "ClusterStoreAdapter",
+    "ClusterTx",
+    "CoordinatorResult",
+    "CrossShardCoordinator",
+    "HashShardRouter",
+    "PipelineReport",
+    "PipelineScheduler",
+    "PipelinedRunReport",
+    "RangeShardRouter",
+    "ShardRouter",
+    "WaveReport",
+    "key_space_of",
+    "make_router",
+    "partition_database",
+    "run_pipelined",
+]

@@ -1,0 +1,270 @@
+"""The leader pass for cross-shard transactions.
+
+Following DiPETrans's leader/follower split, transactions whose access
+set spans several shards are not farmed out to shard engines: the
+*leader* (host CPU) quiesces the shards they touch and executes them
+itself, serially, in timestamp order. Serial execution in timestamp
+order is trivially Definition-1 equivalent, and because the parallel
+shard waves before and after the leader pass are barrier-separated,
+the whole bulk remains equivalent to a serial run.
+
+Two pieces live here:
+
+* :class:`ClusterStoreAdapter` -- a DeviceStore-protocol view that
+  spans every shard: index probes fan out across the shards' rebuilt
+  indexes, and row handles are *encoded* as ``shard * stride + local``
+  so later reads/writes route back to the owning shard.
+* :class:`CrossShardCoordinator` -- the serial interpreter (mirroring
+  :class:`~repro.cpu.engine.CpuEngine`'s) plus its cost accounting:
+  leader cycles via :class:`~repro.cpu.costmodel.CpuCostModel`, and a
+  per-wave synchronisation charge (gather + release round trip over
+  the interconnect) for the shards the wave quiesces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+from repro.core.procedure import ProcedureRegistry
+from repro.core.txn import Transaction, TxnResult
+from repro.cpu.costmodel import CpuCostModel
+from repro.cluster.router import ShardRouter
+from repro.errors import ClusterError, ExecutionError
+from repro.gpu import ops as op_ir
+from repro.gpu.spec import XEON_E5520, CPUSpec
+from repro.storage.catalog import StoreAdapter
+
+#: Row-handle stride separating shards in the leader's address space.
+_SHARD_ROW_STRIDE = 1 << 32
+
+
+def encode_row(shard: int, row: int) -> int:
+    """Pack a shard-local row id into a cluster-global handle."""
+    return shard * _SHARD_ROW_STRIDE + row
+
+
+def decode_row(handle: int) -> Tuple[int, int]:
+    """Inverse of :func:`encode_row`."""
+    return handle // _SHARD_ROW_STRIDE, handle % _SHARD_ROW_STRIDE
+
+
+class ClusterStoreAdapter:
+    """A global DeviceStore view over every shard's adapter.
+
+    Reads, writes and deletes route by the shard encoded in the row
+    handle; inserts route by the inserted row's partition-key value;
+    unique-index probes try each shard (keys are disjoint across
+    shards, so at most one hits); multi-index probes concatenate the
+    shards' results. Static maps are replicated, so shard 0 answers.
+    """
+
+    def __init__(
+        self, adapters: Sequence[StoreAdapter], router: ShardRouter
+    ) -> None:
+        if len(adapters) != router.n_shards:
+            raise ClusterError(
+                f"{len(adapters)} shard adapters for "
+                f"{router.n_shards}-shard router"
+            )
+        self.adapters = list(adapters)
+        self.router = router
+
+    # -- DeviceStore protocol -------------------------------------------
+    def read(self, table: str, column: str, row: int) -> Any:
+        shard, local = decode_row(row)
+        return self.adapters[shard].read(table, column, local)
+
+    def write(self, table: str, column: str, row: int, value: Any) -> Any:
+        self._reject_replicated_mutation(table)
+        shard, local = decode_row(row)
+        return self.adapters[shard].write(table, column, local, value)
+
+    def probe(self, index: str, key: Any) -> Any:
+        db0 = self.adapters[0].db
+        if index in db0.static_maps:
+            return self.adapters[0].probe(index, key)
+        if db0.index(index).unique:
+            for shard, adapter in enumerate(self.adapters):
+                row = adapter.probe(index, key)
+                if row >= 0:
+                    return encode_row(shard, row)
+            return -1
+        hits: List[int] = []
+        for shard, adapter in enumerate(self.adapters):
+            hits.extend(
+                encode_row(shard, r) for r in adapter.probe(index, key)
+            )
+        return tuple(hits)
+
+    def insert(self, table: str, values: Sequence[Any]) -> int:
+        schema = self.adapters[0].db.table(table).schema
+        if schema.partition_key is None:
+            raise ClusterError(
+                f"cannot route insert into replicated table {table!r}"
+            )
+        key = values[schema.column_index(schema.partition_key)]
+        shard = self.router.shard_of_key(key)
+        return encode_row(shard, self.adapters[shard].insert(table, values))
+
+    def delete(self, table: str, row: int) -> None:
+        self._reject_replicated_mutation(table)
+        shard, local = decode_row(row)
+        self.adapters[shard].delete(table, local)
+
+    def _reject_replicated_mutation(self, table: str) -> None:
+        """Replicated (partition-key-less) tables are read-only: a
+        mutation would touch one replica and desync the others."""
+        if self.adapters[0].db.table(table).schema.partition_key is None:
+            raise ClusterError(
+                f"cannot mutate replicated table {table!r} in the "
+                "leader pass; replicated tables are read-only"
+            )
+
+    def cancel_insert(self, table: str, row: int) -> None:
+        shard, local = decode_row(row)
+        self.adapters[shard].cancel_insert(table, local)
+
+    def cancel_delete(self, table: str, row: int) -> None:
+        shard, local = decode_row(row)
+        self.adapters[shard].cancel_delete(table, local)
+
+    def row_width(self, table: str) -> int:
+        return self.adapters[0].row_width(table)
+
+    def apply_batch(self) -> None:
+        for adapter in self.adapters:
+            adapter.apply_batch()
+
+
+@dataclass
+class CoordinatorResult:
+    """Outcome and timing of one leader wave."""
+
+    results: List[TxnResult] = field(default_factory=list)
+    #: Leader execution time (serial interpretation on the host CPU).
+    exec_seconds: float = 0.0
+    #: Quiesce/release round trips for the shards this wave touched.
+    sync_seconds: float = 0.0
+    shards_touched: Tuple[int, ...] = ()
+
+    @property
+    def seconds(self) -> float:
+        return self.exec_seconds + self.sync_seconds
+
+
+class CrossShardCoordinator:
+    """Serial leader executor for cross-shard transactions."""
+
+    def __init__(
+        self,
+        registry: ProcedureRegistry,
+        adapters: Sequence[StoreAdapter],
+        router: ShardRouter,
+        *,
+        cpu_spec: CPUSpec = XEON_E5520,
+        sync_latency_s: float = 0.0,
+    ) -> None:
+        self.registry = registry
+        self.router = router
+        self.adapter = ClusterStoreAdapter(adapters, router)
+        self.cost = CpuCostModel(cpu_spec)
+        #: One-way latency of a leader<->shard control message; a wave
+        #: pays a gather and a release hop (the quiesce barrier).
+        self.sync_latency_s = sync_latency_s
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, transactions: Sequence[Transaction]
+    ) -> CoordinatorResult:
+        """Run one wave serially, in timestamp order."""
+        out = CoordinatorResult()
+        if not transactions:
+            return out
+        cycles = 0.0
+        touched: set = set()
+        for txn in sorted(transactions, key=lambda t: t.txn_id):
+            txn_type = self.registry.get(txn.type_name)
+            touched |= self.router.shards_of(txn_type, txn.params)
+            txn_cycles, committed, reason, value = self._run_one(txn)
+            cycles += txn_cycles + self.cost.dispatch()
+            out.results.append(
+                TxnResult(
+                    txn_id=txn.txn_id,
+                    type_name=txn.type_name,
+                    committed=committed,
+                    abort_reason=reason,
+                    value=value,
+                )
+            )
+        self.adapter.apply_batch()
+        out.exec_seconds = self.cost.seconds(cycles)
+        out.sync_seconds = 2.0 * self.sync_latency_s
+        out.shards_touched = tuple(sorted(touched))
+        return out
+
+    # ------------------------------------------------------------------
+    def _run_one(self, txn: Transaction) -> Tuple[float, bool, str, Any]:
+        """Interpret one op stream; serial, with inline rollback."""
+        stream = self.registry.build_stream(txn.type_name, txn.params)
+        adapter = self.adapter
+        cost = self.cost
+        cycles = 0.0
+        undo: List[Tuple[str, str, int, Any]] = []
+        pending_inserts: List[Tuple[str, int]] = []
+        pending_deletes: List[Tuple[str, int]] = []
+        send: Any = None
+        while True:
+            try:
+                op = stream.send(send)
+            except StopIteration as stop:
+                return cycles, True, "", stop.value
+            except Exception as exc:
+                raise ExecutionError(
+                    f"cross-shard transaction {txn.txn_id} raised {exc!r}"
+                ) from exc
+            send = None
+            kind = op.kind
+            if kind == op_ir.READ:
+                send = adapter.read(op.table, op.column, op.row)
+                cycles += cost.memory_access()
+            elif kind == op_ir.WRITE:
+                old = adapter.write(op.table, op.column, op.row, op.value)
+                undo.append((op.table, op.column, op.row, old))
+                cycles += cost.memory_access()
+            elif kind == op_ir.COMPUTE:
+                cycles += cost.compute(op.amount)
+            elif kind == op_ir.SFU_COMPUTE:
+                cycles += cost.sfu(op.amount)
+            elif kind == op_ir.INDEX_PROBE:
+                send = adapter.probe(op.index, op.key)
+                cycles += 2 * cost.memory_access()
+            elif kind == op_ir.INSERT_ROW:
+                provisional = adapter.insert(op.table, op.values)
+                pending_inserts.append((op.table, provisional))
+                send = provisional
+                cycles += cost.insert(adapter.row_width(op.table))
+            elif kind == op_ir.DELETE_ROW:
+                adapter.delete(op.table, op.row)
+                pending_deletes.append((op.table, op.row))
+                cycles += cost.memory_access()
+            elif kind == op_ir.ABORT:
+                # Serial leader: nothing has observed our writes yet.
+                for table, column, row, old in reversed(undo):
+                    adapter.write(table, column, row, old)
+                    cycles += cost.memory_access()
+                for table, provisional in pending_inserts:
+                    adapter.cancel_insert(table, provisional)
+                for table, row in pending_deletes:
+                    adapter.cancel_delete(table, row)
+                return cycles, False, op.reason, None
+            elif kind in (op_ir.THREAD_FENCE, op_ir.SET_BRANCH):
+                cycles += cost.compute(1)
+            elif kind in (op_ir.LOCK_ACQUIRE, op_ir.LOCK_RELEASE,
+                          op_ir.ATOMIC_ADD, op_ir.ATOMIC_CAS):
+                raise ExecutionError(
+                    "device locks/atomics cannot appear in the serial "
+                    "leader pass"
+                )
+            else:  # pragma: no cover - closed op table
+                raise ExecutionError(f"unknown op kind {kind}")

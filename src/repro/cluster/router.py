@@ -1,0 +1,145 @@
+"""Shard routing: which simulated GPU owns which data item.
+
+The cluster runtime partitions the database horizontally over N
+devices, keyed by each table's ``partition_key`` column -- the same
+key the paper uses for PART's partitions and for conflict detection
+(Section 5.1: the primary key of the root relation of the tree-shaped
+schema). A :class:`ShardRouter` maps such a key to the shard that owns
+it, and classifies a transaction by the set of shards its declared
+accesses touch:
+
+* one shard  -> *single-shard*: executes on that shard's own GPUTx
+  engine, concurrently with other shards' work;
+* several    -> *cross-shard*: handed to the leader/coordinator pass
+  (DiPETrans-style), which executes it serially against a global view.
+
+Routing uses the same static metadata as bulk generation (the access
+function / partition function of the transaction type), so a
+transaction's home is known before execution -- no speculative
+re-routing is ever needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.procedure import TransactionType
+from repro.errors import ClusterError, ConfigError
+
+
+class ShardRouter:
+    """Base router: key -> shard, plus transaction classification."""
+
+    kind = "base"
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise ConfigError("n_shards must be >= 1")
+        self.n_shards = n_shards
+
+    # ------------------------------------------------------------------
+    def shard_of_key(self, key: Any) -> int:
+        """Owning shard of one partition-key value."""
+        raise NotImplementedError
+
+    def shard_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`shard_of_key` over an integer key array.
+
+        The base implementation loops; the shipped routers override it
+        with pure numpy so database partitioning stays O(1) Python
+        calls per *table*, not per row.
+        """
+        return np.fromiter(
+            (self.shard_of_key(k) for k in keys),
+            dtype=np.int64,
+            count=len(keys),
+        )
+
+    # ------------------------------------------------------------------
+    def shards_of(
+        self, txn_type: TransactionType, params: Tuple[Any, ...]
+    ) -> FrozenSet[int]:
+        """Shards a transaction touches, from its static metadata.
+
+        The declared access set (conflict items) is authoritative when
+        present; otherwise the partition function is consulted. An
+        empty result means the transaction touches no shard-resident
+        state (e.g. a static-map lookup) and may run anywhere.
+        """
+        accesses = txn_type.accesses(params)
+        if accesses:
+            return frozenset(self.shard_of_key(a.item) for a in accesses)
+        partition = txn_type.partition_of(params)
+        if partition is not None:
+            return frozenset((self.shard_of_key(partition),))
+        return frozenset()
+
+    def is_cross_shard(
+        self, txn_type: TransactionType, params: Tuple[Any, ...]
+    ) -> bool:
+        return len(self.shards_of(txn_type, params)) > 1
+
+
+class HashShardRouter(ShardRouter):
+    """Modulo hashing over the integer partition key.
+
+    The workloads' keys are dense non-negative integers, so plain
+    modulo both balances load and keeps the mapping obvious in tests.
+    """
+
+    kind = "hash"
+
+    def shard_of_key(self, key: Any) -> int:
+        return int(key) % self.n_shards
+
+    def shard_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        return np.asarray(keys, dtype=np.int64) % self.n_shards
+
+
+class RangeShardRouter(ShardRouter):
+    """Contiguous key ranges: shard ``i`` owns keys in its slice of
+    ``[0, key_space)``. Out-of-range keys clamp to the edge shards."""
+
+    kind = "range"
+
+    def __init__(self, n_shards: int, key_space: int) -> None:
+        super().__init__(n_shards)
+        if key_space < 1:
+            raise ConfigError("key_space must be >= 1")
+        self.key_space = key_space
+
+    def shard_of_key(self, key: Any) -> int:
+        k = min(max(int(key), 0), self.key_space - 1)
+        return k * self.n_shards // self.key_space
+
+    def shard_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        clamped = np.clip(
+            np.asarray(keys, dtype=np.int64), 0, self.key_space - 1
+        )
+        return clamped * self.n_shards // self.key_space
+
+
+def make_router(
+    router: Union[str, ShardRouter],
+    n_shards: int,
+    key_space: Optional[int] = None,
+) -> ShardRouter:
+    """Resolve a router spec: an instance, ``"hash"``, or ``"range"``."""
+    if isinstance(router, ShardRouter):
+        if router.n_shards != n_shards:
+            raise ClusterError(
+                f"router covers {router.n_shards} shards, "
+                f"cluster has {n_shards}"
+            )
+        return router
+    if router == "hash":
+        return HashShardRouter(n_shards)
+    if router == "range":
+        if key_space is None:
+            raise ClusterError("range routing needs a key_space")
+        return RangeShardRouter(n_shards, key_space)
+    raise ClusterError(
+        f"unknown router {router!r}; use 'hash', 'range', or a ShardRouter"
+    )

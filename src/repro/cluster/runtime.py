@@ -1,0 +1,440 @@
+"""ClusterTx: the sharded multi-GPU bulk transaction runtime.
+
+Scales the single-device :class:`~repro.core.engine.GPUTx` engine out
+to N simulated GPUs, DiPETrans-style:
+
+* the database is partitioned over the shards by a
+  :class:`~repro.cluster.router.ShardRouter` (hash or range over each
+  table's partition key);
+* every shard owns a full ``GPUTx`` engine -- its own SIMT simulator,
+  PCIe link and strategy chooser, so each shard profiles *its own*
+  sub-bulk and applies Algorithm 1 independently;
+* each bulk is segmented, in timestamp order, into **waves**:
+  maximal runs of single-shard transactions execute as one parallel
+  wave (the wave's simulated time is the *max* over the shards, not
+  the sum), and runs of cross-shard transactions execute as a
+  coordinator wave -- the leader quiesces the touched shards and runs
+  them serially (:mod:`repro.cluster.coordinator`).
+
+Correctness (Definition 1, timestamp-order equivalence): within a
+parallel wave, transactions on different shards touch disjoint data by
+construction, and each shard engine is Definition-1 equivalent on its
+own sub-bulk; waves are barrier-separated and coordinator waves are
+serial in timestamp order. The composition is therefore equivalent to
+one serial run of the whole bulk -- the cluster integration tests
+assert exactly this against both the CPU oracle and a single-device
+``GPUTx``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.coordinator import CrossShardCoordinator
+from repro.cluster.partition import key_space_of, partition_database
+from repro.cluster.router import ShardRouter, make_router
+from repro.core.chooser import ChooserThresholds
+from repro.core.engine import GPUTx, validate_strategy_options
+from repro.core.procedure import TransactionType
+from repro.core.txn import ResultPool, Transaction, TransactionPool, TxnResult
+from repro.errors import ClusterError
+from repro.gpu.costmodel import TimeBreakdown
+from repro.gpu.spec import C1060, GPUSpec
+from repro.storage.catalog import Database
+
+#: Breakdown phases specific to the cluster runtime.
+PHASE_COORDINATOR = "coordinator"
+PHASE_SYNC = "sync"
+
+
+@dataclass
+class WaveReport:
+    """One barrier-separated wave of a cluster bulk."""
+
+    kind: str  # "parallel" | "coordinator"
+    size: int
+    seconds: float
+    shards: Tuple[int, ...]
+    #: Strategy each shard engine chose for its sub-bulk (parallel waves).
+    strategies: Dict[int, str] = field(default_factory=dict)
+
+
+@dataclass
+class ClusterExecutionResult:
+    """Outcome of executing one bulk across the cluster."""
+
+    results: List[TxnResult]
+    breakdown: TimeBreakdown
+    waves: List[WaveReport] = field(default_factory=list)
+    n_single_shard: int = 0
+    n_cross_shard: int = 0
+    #: Cumulative busy seconds per shard engine (for utilisation).
+    shard_busy_s: List[float] = field(default_factory=list)
+
+    @property
+    def seconds(self) -> float:
+        return self.breakdown.total
+
+    @property
+    def committed(self) -> int:
+        return sum(1 for r in self.results if r.committed)
+
+    @property
+    def aborted(self) -> int:
+        return sum(1 for r in self.results if not r.committed)
+
+    def throughput_tps(self, count_aborts: bool = True) -> float:
+        n = len(self.results) if count_aborts else self.committed
+        seconds = self.seconds
+        return n / seconds if seconds > 0 else 0.0
+
+    @property
+    def throughput_ktps(self) -> float:
+        return self.throughput_tps() / 1e3
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the makespan the shard GPUs were busy."""
+        if not self.shard_busy_s or self.seconds <= 0:
+            return 0.0
+        return sum(self.shard_busy_s) / (len(self.shard_busy_s) * self.seconds)
+
+
+class ClusterTx:
+    """Bulk transaction execution sharded over N simulated GPUs."""
+
+    def __init__(
+        self,
+        db: Database,
+        procedures: Optional[Sequence[TransactionType]] = None,
+        n_shards: int = 2,
+        *,
+        router: Union[str, ShardRouter] = "hash",
+        spec: GPUSpec = C1060,
+        block_size: int = 256,
+        use_undo_logging: bool = True,
+        thresholds: Optional[ChooserThresholds] = None,
+        sync_latency_s: Optional[float] = None,
+    ) -> None:
+        key_space = key_space_of(db) if router == "range" else None
+        self.router = make_router(router, n_shards, key_space=key_space)
+        self.n_shards = self.router.n_shards
+        self.spec = spec
+        # The source database is partitioned by copy and never mutated.
+        shard_dbs = partition_database(db, self.router)
+        self.shards: List[GPUTx] = [
+            GPUTx(
+                shard_db,
+                procedures=procedures,
+                spec=spec,
+                block_size=block_size,
+                use_undo_logging=use_undo_logging,
+                thresholds=thresholds,
+            )
+            for shard_db in shard_dbs
+        ]
+        self.registry = self.shards[0].registry
+        self.pool = TransactionPool()
+        self.results = ResultPool()
+        if sync_latency_s is None:
+            sync_latency_s = spec.pcie_latency_s
+        self.coordinator = CrossShardCoordinator(
+            self.registry,
+            [engine.adapter for engine in self.shards],
+            self.router,
+            sync_latency_s=sync_latency_s,
+        )
+
+    # ------------------------------------------------------------------
+    # Registration and submission (mirrors the GPUTx surface).
+    # ------------------------------------------------------------------
+    def register(self, txn_type: TransactionType) -> int:
+        """Register a stored procedure on every shard's combined kernel."""
+        type_ids = {engine.register(txn_type) for engine in self.shards}
+        if len(type_ids) != 1:
+            raise ClusterError(
+                f"shards disagree on type id for {txn_type.name!r}"
+            )
+        return type_ids.pop()
+
+    def submit(
+        self, type_name: str, params: Iterable[Any], submit_time: float = 0.0
+    ) -> Transaction:
+        return self.pool.submit(type_name, params, submit_time)
+
+    def submit_many(
+        self,
+        transactions: Iterable[
+            Union[Transaction, Tuple[str, tuple], Tuple[str, tuple, float]]
+        ],
+    ) -> int:
+        return self.pool.submit_specs(transactions)
+
+    # ------------------------------------------------------------------
+    # Device initialization.
+    # ------------------------------------------------------------------
+    def initialize_devices(self) -> float:
+        """Load every shard's tables/indexes; shards load in parallel,
+        so the simulated cost is the slowest shard's."""
+        return max(engine.initialize_device() for engine in self.shards)
+
+    # ------------------------------------------------------------------
+    # Classification.
+    # ------------------------------------------------------------------
+    def shards_of(self, txn: Transaction) -> "frozenset[int]":
+        return self.router.shards_of(
+            self.registry.get(txn.type_name), txn.params
+        )
+
+    def home_shard(self, txn: Transaction) -> int:
+        """Owning shard of a single-shard transaction.
+
+        Transactions that touch no shard-resident state (empty access
+        set and no partition) spread round-robin by timestamp.
+        """
+        return self._home_shard(txn, self.shards_of(txn))
+
+    def _home_shard(
+        self, txn: Transaction, shards: "frozenset[int]"
+    ) -> int:
+        if len(shards) > 1:
+            raise ClusterError(
+                f"transaction {txn.txn_id} is cross-shard: {sorted(shards)}"
+            )
+        if shards:
+            return next(iter(shards))
+        return txn.txn_id % self.n_shards
+
+    # ------------------------------------------------------------------
+    # Bulk execution.
+    # ------------------------------------------------------------------
+    def run_bulk(
+        self,
+        strategy: str = "auto",
+        max_txns: Optional[int] = None,
+        **options: Any,
+    ) -> ClusterExecutionResult:
+        """Generate one bulk from the pool and execute it cluster-wide."""
+        # Reject typo'd options/strategies before the pool is drained.
+        validate_strategy_options(strategy, options)
+        return self.execute_bulk(
+            self.pool.take(max_txns), strategy=strategy, **options
+        )
+
+    def execute_bulk(
+        self,
+        transactions: Sequence[Transaction],
+        strategy: str = "auto",
+        **options: Any,
+    ) -> ClusterExecutionResult:
+        """Segment a bulk into waves and execute them in order."""
+        validate_strategy_options(strategy, options)
+        out = ClusterExecutionResult(
+            results=[],
+            breakdown=TimeBreakdown(),
+            shard_busy_s=[0.0] * self.n_shards,
+        )
+        if not transactions:
+            return out
+        if strategy == "auto" and options:
+            # Shard engines each filter the options for their own
+            # chosen strategy; dedup their drop warnings to one per
+            # bulk instead of one per shard sub-bulk.
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                self._run_waves(transactions, strategy, options, out)
+            seen = set()
+            for caught_warning in caught:
+                key = (caught_warning.category, str(caught_warning.message))
+                if key not in seen:
+                    seen.add(key)
+                    warnings.warn_explicit(
+                        caught_warning.message,
+                        caught_warning.category,
+                        caught_warning.filename,
+                        caught_warning.lineno,
+                    )
+        else:
+            self._run_waves(transactions, strategy, options, out)
+        out.results.sort(key=lambda r: r.txn_id)
+        self.results.record_many(out.results)
+        self._check_replicated_tables()
+        return out
+
+    def _run_waves(
+        self,
+        transactions: Sequence[Transaction],
+        strategy: str,
+        options: Dict[str, Any],
+        out: ClusterExecutionResult,
+    ) -> None:
+        # Route every transaction once; classification and home-shard
+        # grouping both read from this map.
+        shard_map = {t.txn_id: self.shards_of(t) for t in transactions}
+        waves = self._segment(transactions, shard_map)
+        for index, (kind, wave_txns) in enumerate(waves):
+            if kind == "parallel":
+                deferred = self._run_parallel_wave(
+                    wave_txns, shard_map, strategy, options, out
+                )
+                if deferred:
+                    # A shard deferred older transactions (streaming
+                    # K-SET): younger waves of this bulk may conflict
+                    # with them, so running any would break timestamp
+                    # order. Requeue the rest; they rejoin the pool in
+                    # id order and execute in a later bulk.
+                    rest = [
+                        txn
+                        for _kind, txns in waves[index + 1:]
+                        for txn in txns
+                    ]
+                    if rest:
+                        self.pool.requeue(rest)
+                    break
+            else:
+                self._run_coordinator_wave(wave_txns, out)
+
+    # ------------------------------------------------------------------
+    def _segment(
+        self,
+        transactions: Sequence[Transaction],
+        shard_map: Dict[int, "frozenset[int]"],
+    ) -> List[Tuple[str, List[Transaction]]]:
+        """Split a timestamp-ordered bulk into maximal same-kind runs."""
+        waves: List[Tuple[str, List[Transaction]]] = []
+        for txn in transactions:
+            kind = (
+                "coordinator"
+                if len(shard_map[txn.txn_id]) > 1
+                else "parallel"
+            )
+            if waves and waves[-1][0] == kind:
+                waves[-1][1].append(txn)
+            else:
+                waves.append((kind, [txn]))
+        return waves
+
+    def _run_parallel_wave(
+        self,
+        wave_txns: List[Transaction],
+        shard_map: Dict[int, "frozenset[int]"],
+        strategy: str,
+        options: Dict[str, Any],
+        out: ClusterExecutionResult,
+    ) -> bool:
+        """Run one parallel wave; returns True if any shard deferred
+        transactions (the caller must then stop the bulk)."""
+        by_shard: Dict[int, List[Transaction]] = {}
+        for txn in wave_txns:
+            home = self._home_shard(txn, shard_map[txn.txn_id])
+            by_shard.setdefault(home, []).append(txn)
+        wave = WaveReport(
+            kind="parallel",
+            size=len(wave_txns),
+            seconds=0.0,
+            shards=tuple(sorted(by_shard)),
+        )
+        critical_breakdown: Optional[TimeBreakdown] = None
+        any_deferred = False
+        for shard, txns in sorted(by_shard.items()):
+            engine = self.shards[shard]
+            result = engine.execute_bulk(txns, strategy=strategy, **dict(options))
+            # Streaming strategies may defer work into the *shard*
+            # pool; pull it back so it rejoins the cluster-wide order.
+            leftovers = engine.pool.take()
+            if leftovers:
+                any_deferred = True
+                self.pool.requeue(leftovers)
+            out.results.extend(result.results)
+            out.shard_busy_s[shard] += result.seconds
+            wave.strategies[shard] = result.strategy
+            if result.seconds > wave.seconds:
+                wave.seconds = result.seconds
+                critical_breakdown = result.breakdown
+        # The wave ends when its slowest shard does: charge the
+        # critical shard's phase breakdown, not the sum over shards.
+        if critical_breakdown is not None:
+            for phase, seconds in critical_breakdown.phases.items():
+                out.breakdown.add(phase, seconds)
+        out.n_single_shard += len(wave_txns)
+        out.waves.append(wave)
+        return any_deferred
+
+    def _run_coordinator_wave(
+        self, wave_txns: List[Transaction], out: ClusterExecutionResult
+    ) -> None:
+        result = self.coordinator.execute(wave_txns)
+        out.results.extend(result.results)
+        out.breakdown.add(PHASE_COORDINATOR, result.exec_seconds)
+        out.breakdown.add(PHASE_SYNC, result.sync_seconds)
+        out.n_cross_shard += len(wave_txns)
+        out.waves.append(
+            WaveReport(
+                kind="coordinator",
+                size=len(wave_txns),
+                seconds=result.seconds,
+                shards=result.shards_touched,
+            )
+        )
+
+    def _check_replicated_tables(self) -> None:
+        """Fail loudly if a bulk mutated a replicated table.
+
+        Tables without a partition key are replicated to every shard
+        and must stay read-only under cluster execution: a shard-local
+        write would touch only one replica and silently break
+        Definition 1. Replicas are compared after every bulk; shipped
+        workloads partition every table, so this is free in practice.
+        """
+        def live_rows(db: Database, name: str) -> List[Tuple[Any, ...]]:
+            table = db.table(name)
+            rows = [
+                table.read_row(r)
+                for r in range(table.n_rows)
+                if not table.is_deleted(r)
+            ]
+            rows.sort(key=repr)
+            return rows
+
+        for name, table in self.shards[0].db.tables.items():
+            if table.schema.partition_key is not None:
+                continue
+            reference = live_rows(self.shards[0].db, name)
+            for engine in self.shards[1:]:
+                if live_rows(engine.db, name) != reference:
+                    raise ClusterError(
+                        f"replicated table {name!r} diverged across "
+                        "shards: replicated tables are read-only under "
+                        "cluster execution"
+                    )
+
+    # ------------------------------------------------------------------
+    # State inspection (Definition 1 checks).
+    # ------------------------------------------------------------------
+    def logical_state(self) -> Dict[str, List[Tuple[Any, ...]]]:
+        """Canonical merged content per table across all shards.
+
+        Partitioned tables union their shards' rows; replicated tables
+        (no partition key) are read from shard 0. Row order follows
+        the same canonicalisation as ``Database.logical_state``.
+        """
+        state: Dict[str, List[Tuple[Any, ...]]] = {}
+        db0 = self.shards[0].db
+        for name, table in db0.tables.items():
+            if table.schema.partition_key is None:
+                sources = [db0]
+            else:
+                sources = [engine.db for engine in self.shards]
+            rows: List[Tuple[Any, ...]] = []
+            for source in sources:
+                src_table = source.table(name)
+                rows.extend(
+                    src_table.read_row(r)
+                    for r in range(src_table.n_rows)
+                    if not src_table.is_deleted(r)
+                )
+            rows.sort(key=repr)
+            state[name] = rows
+        return state

@@ -19,6 +19,7 @@ Typical use::
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -118,18 +119,13 @@ class GPUTx:
 
     def submit_many(
         self,
-        transactions: Iterable[Union[Transaction, Tuple[str, tuple]]],
+        transactions: Iterable[
+            Union[Transaction, Tuple[str, tuple], Tuple[str, tuple, float]]
+        ],
     ) -> int:
-        """Submit pre-built transactions or (type, params) pairs."""
-        count = 0
-        for txn in transactions:
-            if isinstance(txn, Transaction):
-                self.pool.submit_transaction(txn)
-            else:
-                type_name, params = txn
-                self.pool.submit(type_name, params)
-            count += 1
-        return count
+        """Submit pre-built transactions, (type, params) pairs, or
+        (type, params, submit_time) triples."""
+        return self.pool.submit_specs(transactions)
 
     # ------------------------------------------------------------------
     # Device initialization (Figure 16's one-off component).
@@ -179,7 +175,29 @@ class GPUTx:
         Strategy-specific options (``grouping_passes``,
         ``partition_size``, ...) pass through to the executor.
         """
-        transactions = self.pool.take(max_txns)
+        # Validate before draining the pool: a typo'd option or
+        # strategy name must not cost the caller the bulk.
+        validate_strategy_options(strategy, options)
+        return self.execute_bulk(
+            self.pool.take(max_txns), strategy=strategy, **options
+        )
+
+    def execute_bulk(
+        self,
+        transactions: Sequence[Transaction],
+        strategy: str = "auto",
+        **options: Any,
+    ) -> ExecutionResult:
+        """The reusable bulk pipeline: profile, choose, execute, record.
+
+        Unlike :meth:`run_bulk` this takes the transactions directly
+        instead of draining the pool, so callers that own the bulk
+        boundary -- the cluster runtime's per-shard sub-bulks, the
+        pipelined bulk scheduler -- share one code path. Deferred
+        transactions (streaming K-SET) are requeued into this engine's
+        pool; results land in this engine's result pool.
+        """
+        validate_strategy_options(strategy, options)
         if not transactions:
             return ExecutionResult(strategy, [], breakdown=_empty_breakdown())
         chosen = strategy
@@ -270,15 +288,64 @@ def _empty_breakdown():
     return TimeBreakdown()
 
 
+#: Options each strategy's executor accepts (beyond the shared ones).
+_STRATEGY_OPTIONS: Dict[str, set] = {
+    "tpl": {"grouping_passes"},
+    "part": {"partition_size"},
+    "kset": {"grouping_passes", "max_rounds"},
+    "adhoc": {"per_task_launch_overhead"},
+    "tpl-relaxed": set(),
+    "part-relaxed": {"partition_size"},
+    "kset-relaxed": {"grouping_passes"},
+}
+
+
+def validate_strategy_options(strategy: str, options: Dict[str, Any]) -> None:
+    """Reject misdirected strategy options (tuning typos).
+
+    Called before a bulk is consumed, so a typo costs an error, not
+    the workload. Under ``"auto"`` any option some strategy accepts is
+    legitimate (the inapplicable ones are dropped with a warning once
+    Algorithm 1 has chosen); under an explicit strategy the option set
+    is known up front and unknown names are rejected outright.
+    """
+    if strategy == "auto":
+        known_anywhere = set().union(*_STRATEGY_OPTIONS.values())
+        unknown = sorted(set(options) - known_anywhere)
+        if unknown:
+            raise ConfigError(
+                f"unknown strategy option(s) {unknown}; valid options are "
+                f"{sorted(known_anywhere)}"
+            )
+        return
+    allowed = _STRATEGY_OPTIONS.get(strategy)
+    if allowed is None:
+        raise ConfigError(
+            f"unknown strategy {strategy!r}; choose from {sorted(_STRATEGIES)}"
+        )
+    unknown = sorted(set(options) - allowed)
+    if unknown:
+        raise ConfigError(
+            f"strategy {strategy!r} does not accept option(s) {unknown}; "
+            f"allowed options are {sorted(allowed)}"
+        )
+
+
 def _filter_options(strategy: str, options: Dict[str, Any]) -> Dict[str, Any]:
-    """Keep only the options the chosen strategy's executor accepts."""
-    allowed = {
-        "tpl": {"grouping_passes"},
-        "part": {"partition_size"},
-        "kset": {"grouping_passes", "max_rounds"},
-        "adhoc": {"per_task_launch_overhead"},
-        "tpl-relaxed": set(),
-        "part-relaxed": {"partition_size"},
-        "kset-relaxed": {"grouping_passes"},
-    }[strategy]
+    """Keep only the options the chosen strategy's executor accepts.
+
+    Under ``strategy="auto"`` the caller cannot know which executor
+    Algorithm 1 will pick, so passing an option another strategy owns
+    is legitimate -- it is *dropped with a warning*. Unknown names
+    were already rejected by :func:`validate_auto_options`.
+    """
+    allowed = _STRATEGY_OPTIONS[strategy]
+    dropped = set(options) - allowed
+    if dropped:
+        warnings.warn(
+            f"option(s) {sorted(dropped)} are not used by the chosen "
+            f"strategy {strategy!r} and were dropped",
+            UserWarning,
+            stacklevel=3,
+        )
     return {k: v for k, v in options.items() if k in allowed}

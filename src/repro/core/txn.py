@@ -12,7 +12,7 @@ generates a bulk from the pool; results land in a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ProcedureError
 
@@ -98,6 +98,26 @@ class TransactionPool:
         self._next_id += 1
         self._pending.append(txn)
         return txn
+
+    def submit_specs(
+        self,
+        specs: Iterable[
+            "Union[Transaction, Tuple[str, tuple], Tuple[str, tuple, float]]"
+        ],
+    ) -> int:
+        """Admit a mixed stream of pre-built transactions, ``(type,
+        params)`` pairs, or ``(type, params, submit_time)`` triples;
+        returns how many were submitted."""
+        count = 0
+        for item in specs:
+            if isinstance(item, Transaction):
+                self.submit_transaction(item)
+            elif len(item) == 3:
+                self.submit(item[0], item[1], item[2])
+            else:
+                self.submit(item[0], item[1])
+            count += 1
+        return count
 
     def submit_transaction(self, txn: Transaction) -> Transaction:
         """Admit an externally built transaction (id must be fresh)."""

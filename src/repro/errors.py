@@ -76,3 +76,7 @@ class RecoveryError(ReproError):
 
 class ConfigError(ReproError):
     """An engine/simulator configuration value is out of range."""
+
+
+class ClusterError(ReproError):
+    """The sharded cluster runtime hit a routing or partitioning failure."""

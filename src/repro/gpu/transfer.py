@@ -36,12 +36,42 @@ class TransferLedger:
         return sum(self.seconds_by_component.values())
 
 
+@dataclass
+class TransferTimeline:
+    """Busy timeline of one DMA engine, for overlap scheduling.
+
+    The pipeline scheduler (``repro.cluster.pipeline``) lays bulk
+    transfers onto this timeline in queue order: a transfer starts as
+    soon as the engine is free *and* its payload is ready, so copies of
+    bulk *k+1* slide underneath kernel *k* whenever the interconnect is
+    idle. ``busy_seconds`` accumulates pure transfer time, which lets
+    callers report how much of it the pipeline managed to hide.
+    """
+
+    busy_until: float = 0.0
+    busy_seconds: float = 0.0
+
+    def schedule(self, seconds: float, ready_at: float = 0.0) -> "tuple[float, float]":
+        """Queue one transfer; returns its (start, end) instants."""
+        start = max(self.busy_until, ready_at)
+        if seconds <= 0.0:
+            return start, start
+        end = start + seconds
+        self.busy_until = end
+        self.busy_seconds += seconds
+        return start, end
+
+
 class PCIeModel:
     """Latency + bandwidth model of the host-device interconnect."""
 
     def __init__(self, spec: GPUSpec = C1060) -> None:
         self.spec = spec
         self.ledger = TransferLedger()
+
+    def timeline(self) -> TransferTimeline:
+        """A fresh DMA timeline over this link (overlap scheduling)."""
+        return TransferTimeline()
 
     def transfer_seconds(self, nbytes: int) -> float:
         """Time for one DMA of ``nbytes`` in either direction."""

@@ -171,6 +171,10 @@ class ColumnTable:
     def live_row_count(self) -> int:
         return self.n_rows - int(self._deleted[: self.n_rows].sum())
 
+    def deleted_mask(self) -> np.ndarray:
+        """Tombstone bitmap over the table's rows (read-only view)."""
+        return self._deleted[: self.n_rows]
+
     # ------------------------------------------------------------------
     # Device layout (for coalescing + memory accounting).
     # ------------------------------------------------------------------

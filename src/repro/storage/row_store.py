@@ -70,6 +70,9 @@ class RowTable:
     def column_array(self, column: str):
         return self._inner.column_array(column)
 
+    def deleted_mask(self):
+        return self._inner.deleted_mask()
+
     # -- row-major device layout ----------------------------------------
     def cell_address(self, column: str, row: int) -> Tuple[int, int]:
         """(offset-in-table, width): strided by the full row width."""

@@ -16,7 +16,7 @@ string pools).
 from __future__ import annotations
 
 import string
-from typing import List, Sequence, Tuple
+from typing import Callable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -49,6 +49,68 @@ def skewed_first_item(
     if n_items == 1:
         out[:] = 0
     return out.astype(np.int64)
+
+
+#: Rejection-sampling budget per pair before falling back to whatever
+#: was drawn last. With any balanced router the per-draw success
+#: probability is at least 1/n_shards, so 64 tries essentially never
+#: fall through; the cap only matters for degenerate shard maps.
+_PAIR_MAX_TRIES = 64
+
+
+def paired_items(
+    rng: np.random.Generator,
+    n_items: int,
+    shard_of: Callable[[int], int],
+    cross_fraction: float,
+    size: int,
+) -> np.ndarray:
+    """Item pairs with a tunable cross-shard fraction (cluster workloads).
+
+    Each pair's first item is uniform over ``[0, n_items)``. With
+    probability ``cross_fraction`` the partner is drawn from a
+    *different* shard (per ``shard_of``); otherwise from the same shard
+    (itself, if no distinct same-shard partner turns up). Partners are
+    found by rejection sampling, so cost scales with ``size``, not with
+    ``n_items`` -- the paper-scale tables (millions of tuples) are
+    never enumerated. When every item lives on one shard, no
+    cross-shard pair can exist and partners stay local.
+
+    Returns an ``(size, 2)`` int64 array.
+    """
+    if not 0.0 <= cross_fraction <= 1.0:
+        raise ValueError("cross_fraction must be within [0, 1]")
+    if n_items < 1:
+        raise ValueError("need at least one item")
+    firsts = rng.integers(0, n_items, size=size)
+    pairs = np.empty((size, 2), dtype=np.int64)
+    # Once one cross search exhausts its budget, the shard map is
+    # (effectively) single-shard: stop asking for cross partners.
+    cross_feasible = True
+    for i in range(size):
+        a = int(firsts[i])
+        home = shard_of(a)
+        want_cross = (
+            cross_feasible and rng.random() < cross_fraction
+        )
+        b = a
+        found = False
+        for _ in range(_PAIR_MAX_TRIES):
+            candidate = int(rng.integers(0, n_items))
+            is_cross = shard_of(candidate) != home
+            if want_cross and is_cross:
+                b = candidate
+                found = True
+                break
+            if not want_cross and not is_cross and candidate != a:
+                b = candidate
+                found = True
+                break
+        if want_cross and not found:
+            cross_feasible = False
+        pairs[i, 0] = a
+        pairs[i, 1] = b
+    return pairs
 
 
 def nurand(rng: np.random.Generator, a: int, x: int, y: int, c: int = 123) -> int:

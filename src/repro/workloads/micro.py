@@ -17,13 +17,18 @@ tuple; larger alpha deepens the T-dependency graph.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Callable, List
 
 from repro.core.procedure import Access, TransactionType
 from repro.gpu import ops as op_ir
 from repro.storage.catalog import Database
 from repro.storage.schema import ColumnDef, DataType, TableSchema
-from repro.workloads.base import TxnSpec, make_rng, skewed_first_item
+from repro.workloads.base import (
+    TxnSpec,
+    make_rng,
+    paired_items,
+    skewed_first_item,
+)
 
 #: Paper defaults (Section 6.1).
 DEFAULT_BRANCHES = 8
@@ -33,8 +38,17 @@ DEFAULT_TUPLES = 8_000_000  # the paper's table size; benches scale down
 TABLE = "tuples"
 
 
-def build_database(n_tuples: int, layout: str = "column") -> Database:
-    """One relation of ``n_tuples`` rows: (id, value, payload)."""
+def build_database(
+    n_tuples: int, layout: str = "column", with_index: bool = False
+) -> Database:
+    """One relation of ``n_tuples`` rows: (id, value, payload).
+
+    ``with_index`` adds the primary-key hash index. The paper's micro
+    benchmark addresses tuples by position, so the default stays
+    index-free; the *cluster* variants need the index because shard
+    partitioning makes physical row positions shard-local (procedures
+    must address rows logically, via probes).
+    """
     db = Database(layout)
     schema = TableSchema(
         TABLE,
@@ -57,6 +71,8 @@ def build_database(n_tuples: int, layout: str = "column") -> Database:
             "payload": ids * 17 % 1009,
         }
     )
+    if with_index:
+        db.create_index("tuples_pk", TABLE, ["id"])
     return db
 
 
@@ -97,6 +113,84 @@ def build_procedures(
         )
 
     return [make_type(b) for b in range(n_branches)]
+
+
+def build_pair_procedures(
+    n_branches: int = DEFAULT_BRANCHES, x: int = DEFAULT_COMPUTE_X
+) -> List[TransactionType]:
+    """``n_branches`` two-tuple types for the cluster workloads.
+
+    Each transaction probes the primary-key index for both tuples
+    (requires ``build_database(..., with_index=True)``), reads both,
+    computes, and writes both back -- the minimal transaction whose
+    access set can span two shards. A pair over one tuple (``a == b``)
+    degenerates to the single-tuple micro transaction.
+    """
+    if n_branches < 1:
+        raise ValueError("need at least one branch")
+
+    def make_type(branch: int) -> TransactionType:
+        sinf_calls = 100 * x
+
+        def body(a: int, b: int) -> op_ir.OpStream:
+            row_a = yield op_ir.IndexProbe("tuples_pk", a)
+            if row_a < 0:
+                yield op_ir.Abort("tuple a not found")
+            row_b = yield op_ir.IndexProbe("tuples_pk", b)
+            if row_b < 0:
+                yield op_ir.Abort("tuple b not found")
+            value_a = yield op_ir.Read(TABLE, "value", row_a)
+            yield op_ir.SfuCompute(sinf_calls)
+            yield op_ir.Write(TABLE, "value", row_a, value_a + 1.0)
+            if row_b != row_a:
+                value_b = yield op_ir.Read(TABLE, "value", row_b)
+                yield op_ir.Write(TABLE, "value", row_b, value_b + 1.0)
+            return value_a + 1.0
+
+        def access_fn(params) -> List[Access]:
+            a, b = int(params[0]), int(params[1])
+            if a == b:
+                return [Access(item=a, write=True)]
+            return [Access(item=a, write=True), Access(item=b, write=True)]
+
+        def partition_fn(params):
+            a, b = int(params[0]), int(params[1])
+            return a if a == b else None
+
+        return TransactionType(
+            name=f"micro_pair_{branch}",
+            body=body,
+            access_fn=access_fn,
+            partition_fn=partition_fn,
+            two_phase=True,
+            conflict_classes=frozenset({TABLE}),
+        )
+
+    return [make_type(b) for b in range(n_branches)]
+
+
+def generate_pair_transactions(
+    n: int,
+    *,
+    n_tuples: int,
+    shard_of: Callable[[int], int],
+    cross_shard_fraction: float = 0.0,
+    n_branches: int = DEFAULT_BRANCHES,
+    seed: int = 1,
+) -> List[TxnSpec]:
+    """Shard-aware pair workload with a tunable cross-shard fraction.
+
+    ``shard_of`` maps a tuple id to its shard (pass the cluster
+    router's ``shard_of_key``); a ``cross_shard_fraction`` of the pairs
+    straddle two shards, the rest stay within one.
+    """
+    rng = make_rng(seed)
+    pairs = paired_items(rng, n_tuples, shard_of, cross_shard_fraction, n)
+    return [
+        (f"micro_pair_{i % n_branches}",
+         (int(pairs[i, 0]), int(pairs[i, 1])))
+        for i in range(n)
+    ]
 
 
 def generate_transactions(

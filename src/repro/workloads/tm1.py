@@ -44,6 +44,7 @@ from repro.workloads.base import (
     choose_mix,
     make_rng,
     padded_number_string,
+    paired_items,
 )
 
 SUBSCRIBERS_PER_SF = 2_000
@@ -343,6 +344,25 @@ def _delete_call_forwarding(
     return None
 
 
+def _sync_location(src_s_id: int, dst_s_id: int) -> op_ir.OpStream:
+    """Cross-subscriber roaming sync (cluster workloads only).
+
+    Copies the source subscriber's VLR location onto the destination
+    subscriber -- the minimal TM1-style transaction whose access set
+    spans two subscribers and therefore, under sharding, two shards.
+    Two-phase: both existence checks precede the single write.
+    """
+    src_row = yield op_ir.IndexProbe("subscriber_pk", src_s_id)
+    if src_row < 0:
+        yield op_ir.Abort("source subscriber not found")
+    dst_row = yield op_ir.IndexProbe("subscriber_pk", dst_s_id)
+    if dst_row < 0:
+        yield op_ir.Abort("destination subscriber not found")
+    vlr = yield op_ir.Read(SUBSCRIBER, "vlr_location", src_row)
+    yield op_ir.Write(SUBSCRIBER, "vlr_location", dst_row, int(vlr))
+    return int(vlr)
+
+
 def _sub_access(write: bool):
     def access_fn(params) -> List[Access]:
         return [Access(item=int(params[0]), write=write)]
@@ -435,6 +455,24 @@ PROCEDURES = [
 ]
 
 
+#: The cross-subscriber sync transaction (not part of the standard TM1
+#: set; registered only by cluster workloads).
+SYNC_LOCATION = TransactionType(
+    name="tm1_sync_location",
+    body=_sync_location,
+    access_fn=lambda p: [
+        Access(item=int(p[0]), write=False),
+        Access(item=int(p[1]), write=True),
+    ],
+    partition_fn=lambda p: int(p[0]) if int(p[0]) == int(p[1]) else None,
+    two_phase=True,
+    conflict_classes=frozenset({SUBSCRIBER}),
+)
+
+#: TM1 plus the cross-subscriber sync type, for ClusterTx workloads.
+CLUSTER_PROCEDURES = PROCEDURES + [SYNC_LOCATION]
+
+
 # ---------------------------------------------------------------------------
 # Transaction generation.
 # ---------------------------------------------------------------------------
@@ -491,4 +529,49 @@ def generate_transactions(
             out.append((name, (s_id, sf_type, start)))
         else:  # pragma: no cover - mix is validated by choose_mix
             raise ValueError(f"unknown TM1 type {name!r}")
+    return out
+
+
+def generate_cluster_transactions(
+    db: Database,
+    n: int,
+    *,
+    shard_of,
+    cross_shard_fraction: float = 0.0,
+    seed: int = 1,
+    mix: List[Tuple[str, float]] | None = None,
+) -> List[TxnSpec]:
+    """Shard-aware TM1 workload with a tunable cross-shard fraction.
+
+    A ``cross_shard_fraction`` share of the ``n`` logical transactions
+    are ``tm1_sync_location`` pairs spanning two shards (per
+    ``shard_of``, typically the cluster router's ``shard_of_key``);
+    the rest follow the standard TM1 mix -- every standard type is
+    keyed by one subscriber and thus single-shard. Requires the engine
+    to register :data:`CLUSTER_PROCEDURES`. With fraction 0 the result
+    is an ordinary TM1 stream. The split name-lookup halves make the
+    returned list slightly longer than ``n``, as with
+    :func:`generate_transactions`, so the realised fraction is
+    approximate.
+    """
+    if not 0.0 <= cross_shard_fraction <= 1.0:
+        raise ValueError("cross_shard_fraction must be within [0, 1]")
+    n_sync = round(n * cross_shard_fraction)
+    base = generate_transactions(db, n - n_sync, seed=seed, mix=mix)
+    if n_sync == 0:
+        return base
+    rng = make_rng(seed + 1)
+    n_subs = db.table(SUBSCRIBER).n_rows
+    pairs = paired_items(rng, n_subs, shard_of, 1.0, n_sync)
+    syncs: List[TxnSpec] = [
+        ("tm1_sync_location", (int(pairs[i, 0]), int(pairs[i, 1])))
+        for i in range(n_sync)
+    ]
+    # Interleave the sync transactions uniformly into the stream.
+    out = list(base)
+    positions = sorted(
+        (int(rng.integers(0, len(out) + 1)) for _ in syncs), reverse=True
+    )
+    for pos, spec in zip(positions, syncs):
+        out.insert(pos, spec)
     return out

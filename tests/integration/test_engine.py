@@ -1,5 +1,7 @@
 """End-to-end tests of the GPUTx engine facade."""
 
+import warnings
+
 import pytest
 
 from repro import GPUTx
@@ -134,3 +136,121 @@ class TestArrivalSimulation:
             engine.simulate_arrivals(self.workload(10), 0, 1e-3)
         with pytest.raises(ConfigError):
             engine.simulate_arrivals(self.workload(10), 1e6, 0)
+
+    def test_empty_transaction_list(self):
+        engine = self.make_engine()
+        report = engine.simulate_arrivals(
+            [], arrival_rate_tps=1e6, interval_s=1e-4, strategy="kset",
+        )
+        assert report.executed == 0
+        assert report.bulk_sizes == []
+        assert report.avg_response_s == 0.0
+        assert report.max_response_s == 0.0
+        assert report.throughput_tps == 0.0
+
+    def test_everything_arrives_within_first_interval(self):
+        """A rate fast enough that the run is one single bulk."""
+        engine = self.make_engine()
+        report = engine.simulate_arrivals(
+            self.workload(50), arrival_rate_tps=1e9,
+            interval_s=1e-3, strategy="kset",
+        )
+        assert report.bulk_sizes == [50]
+        assert report.executed == 50
+        # Everyone waited at least until the first bulk boundary.
+        assert report.avg_response_s >= report.interval_s - 50 / 1e9
+
+    def test_slow_arrivals_skip_empty_boundaries(self):
+        """A rate slow enough that some boundaries see no arrivals:
+        the continue path must skip them without recording a bulk."""
+        engine = self.make_engine()
+        # One transaction every 10 intervals: most boundaries are empty.
+        report = engine.simulate_arrivals(
+            self.workload(5), arrival_rate_tps=1e3,
+            interval_s=1e-4, strategy="kset",
+        )
+        assert report.executed == 5
+        assert all(size > 0 for size in report.bulk_sizes)
+        assert sum(report.bulk_sizes) == 5
+        # Empty boundaries produced no bulks: far fewer bulks than the
+        # elapsed span contains interval boundaries.
+        assert len(report.bulk_sizes) <= 5
+
+
+class TestSubmitMany:
+    def test_pairs_and_transactions(self):
+        engine = GPUTx(build_bank_db(8), procedures=BANK_PROCEDURES)
+        assert engine.submit_many([("deposit", (0, 5)), ("audit", (1,))]) == 2
+        assert len(engine.pool) == 2
+
+    def test_triples_carry_submit_time(self):
+        engine = GPUTx(build_bank_db(8), procedures=BANK_PROCEDURES)
+        engine.submit_many(
+            [("deposit", (0, 5), 0.5), ("audit", (1,), 1.25)]
+        )
+        times = [txn.submit_time for txn in engine.pool]
+        assert times == [0.5, 1.25]
+
+    def test_mixed_arities(self):
+        engine = GPUTx(build_bank_db(8), procedures=BANK_PROCEDURES)
+        engine.submit_many([("deposit", (0, 5)), ("deposit", (1, 2), 2.0)])
+        times = [txn.submit_time for txn in engine.pool]
+        assert times == [0.0, 2.0]
+
+
+class TestAutoStrategyOptions:
+    """Option filtering under strategy='auto' (Algorithm 1)."""
+
+    @staticmethod
+    def make_engine():
+        engine = GPUTx(build_bank_db(8), procedures=BANK_PROCEDURES)
+        for i in range(8):
+            engine.submit("deposit", (i, 1))
+        return engine
+
+    def test_inapplicable_option_warns(self):
+        engine = self.make_engine()
+        # Tiny bulk: Algorithm 1 never picks adhoc, so an adhoc-only
+        # option must be dropped with a warning naming it.
+        with pytest.warns(UserWarning, match="per_task_launch_overhead"):
+            result = engine.run_bulk(
+                strategy="auto", per_task_launch_overhead=1e-6
+            )
+        assert result.committed == 8
+
+    def test_unknown_option_raises_and_preserves_pool(self):
+        engine = self.make_engine()
+        with pytest.raises(ConfigError, match="partion_size"):
+            engine.run_bulk(strategy="auto", partion_size=64)  # typo
+        # Options are validated before the pool is drained: the typo
+        # costs an error, not the workload.
+        assert len(engine.pool) == 8
+        result = engine.run_bulk(strategy="auto", partition_size=64)
+        assert len(result.results) == 8
+
+    def test_explicit_strategy_rejects_foreign_option(self):
+        engine = self.make_engine()
+        with pytest.raises(ConfigError, match="does not accept"):
+            engine.run_bulk(strategy="part", grouping_passes=2)
+        assert len(engine.pool) == 8
+        with pytest.raises(ConfigError, match="partion_size"):
+            engine.run_bulk(strategy="part", partion_size=64)  # typo
+        assert len(engine.pool) == 8
+        result = engine.run_bulk(strategy="part", partition_size=64)
+        assert len(result.results) == 8
+
+    def test_unknown_strategy_preserves_pool(self):
+        engine = self.make_engine()
+        with pytest.raises(ConfigError, match="unknown strategy"):
+            engine.run_bulk(strategy="warp-drive")
+        assert len(engine.pool) == 8
+
+    def test_applicable_option_passes_through_silently(self):
+        # This bulk is small and fully partitioned, so Algorithm 1
+        # picks PART; PART's own option must pass through untouched.
+        engine = self.make_engine()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = engine.run_bulk(strategy="auto", partition_size=4)
+        assert result.strategy == "part"
+        assert len(result.results) == 8
