@@ -1,0 +1,38 @@
+"""Durability overhead: throughput vs. checkpoint interval and replica
+count, plus replica-promotion cost vs. WAL suffix length.
+
+Run: pytest benchmarks/bench_durability_overhead.py --benchmark-only -q
+The reproduced series are printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.durability import durability_overhead, failover_recovery
+
+
+def test_durability_overhead(figure_runner):
+    result = figure_runner(durability_overhead)
+    ms = result.column("sim_ms")
+    overhead = result.column("overhead_pct")
+    # The volatile baseline is the fastest configuration.
+    assert overhead[0] == 0.0
+    assert all(m >= ms[0] for m in ms[1:])
+    # Checkpointing every bulk costs more than every 8 bulks (K=1).
+    assert ms[3] > ms[1]
+    # The single copy engine serialises replica feeds: K=3 > K=0.
+    assert ms[6] > ms[4]
+    # Durability must stay a tax, not a cliff: every durable config
+    # keeps more than half the volatile throughput at these sizes.
+    ktps = result.column("ktps")
+    assert all(k > 0.5 * ktps[0] for k in ktps[1:])
+
+
+def test_failover_recovery(figure_runner):
+    result = figure_runner(failover_recovery)
+    records = result.column("replayed_records")
+    recovery_ms = result.column("recovery_ms")
+    # A longer un-checkpointed suffix means more records to replay and
+    # a costlier promotion.
+    assert records == sorted(records)
+    assert records[-1] > records[0]
+    assert recovery_ms[-1] > recovery_ms[0]
+    # Every promotion verified byte-identical to the durable state.
+    assert all(result.column("verified"))

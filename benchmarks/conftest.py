@@ -5,6 +5,13 @@ pytest-benchmark. A bench run measures the *simulated experiment* once
 (pedantic, one round -- the simulator is deterministic, so repeated
 rounds only measure interpreter noise), prints the reproduced series,
 and persists it under benchmarks/results/.
+
+CI smoke lane: ``test_bench_smoke.py`` (marker ``smoke``, deselected
+by default) runs every bench file's figure functions on tiny
+configurations (``REPRO_BENCH_SMOKE=1``), so a bench that drifts out
+of sync with the library breaks CI instead of rotting until the next
+full EXPERIMENTS regeneration. Select it with
+``pytest benchmarks -m smoke``.
 """
 
 import pytest

@@ -17,6 +17,8 @@ Quick start::
     print(f"{report.throughput_ktps:.1f} ktps")
 """
 
+from repro.cluster.coordinator import FailoverController
+from repro.cluster.durability import DurabilityConfig, RecoveryReport
 from repro.cluster.pipeline import (
     PipelinedRunReport,
     PipelineScheduler,
@@ -33,9 +35,12 @@ from repro.errors import (
     ClusterError,
     ConfigError,
     DeadlockError,
+    DurabilityError,
     ExecutionError,
+    RecoveryError,
     ReproError,
     SchemaError,
+    ShardFailure,
     StorageError,
 )
 from repro.storage.catalog import Database, StoreAdapter
@@ -49,6 +54,12 @@ __all__ = [
     "ClusterTx",
     "ClusterExecutionResult",
     "ClusterError",
+    "DurabilityConfig",
+    "DurabilityError",
+    "FailoverController",
+    "RecoveryError",
+    "RecoveryReport",
+    "ShardFailure",
     "ShardRouter",
     "HashShardRouter",
     "RangeShardRouter",

@@ -26,8 +26,17 @@ from repro.cpu.engine import CpuEngine
 #: Multiplier applied to workload sizes (REPRO_SCALE=paper -> 8).
 SCALE = 8 if os.environ.get("REPRO_SCALE", "").lower() == "paper" else 1
 
+#: Divisor applied under the CI smoke lane (REPRO_BENCH_SMOKE=1): the
+#: figure functions run end to end on tiny workloads, so API drift in
+#: any bench breaks CI in seconds instead of rotting silently. Read
+#: per call (not at import) so a test can flip the lane on and off.
+SMOKE_DIVISOR = 48
+SMOKE_FLOOR = 24
+
 
 def scaled(n: int) -> int:
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return max(SMOKE_FLOOR, n // SMOKE_DIVISOR)
     return n * SCALE
 
 

@@ -12,6 +12,17 @@ from repro.cluster.coordinator import (
     ClusterStoreAdapter,
     CoordinatorResult,
     CrossShardCoordinator,
+    FailoverController,
+    KillOrder,
+)
+from repro.cluster.durability import (
+    ClusterDurability,
+    DurabilityConfig,
+    RecoveryReport,
+    ReplicaSet,
+    ShardDurability,
+    ShardWAL,
+    WalRecord,
 )
 from repro.cluster.partition import key_space_of, partition_database
 from repro.cluster.pipeline import (
@@ -26,6 +37,7 @@ from repro.cluster.router import (
     RangeShardRouter,
     ShardRouter,
     make_router,
+    replica_placement,
 )
 from repro.cluster.runtime import (
     ClusterExecutionResult,
@@ -35,20 +47,30 @@ from repro.cluster.runtime import (
 
 __all__ = [
     "BulkTiming",
+    "ClusterDurability",
     "ClusterExecutionResult",
     "ClusterStoreAdapter",
     "ClusterTx",
     "CoordinatorResult",
     "CrossShardCoordinator",
+    "DurabilityConfig",
+    "FailoverController",
     "HashShardRouter",
+    "KillOrder",
     "PipelineReport",
     "PipelineScheduler",
     "PipelinedRunReport",
     "RangeShardRouter",
+    "RecoveryReport",
+    "ReplicaSet",
+    "ShardDurability",
     "ShardRouter",
+    "ShardWAL",
+    "WalRecord",
     "WaveReport",
     "key_space_of",
     "make_router",
     "partition_database",
+    "replica_placement",
     "run_pipelined",
 ]

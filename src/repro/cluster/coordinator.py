@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Sequence, Tuple
 
+from repro.cluster.durability.failover import RecoveryReport
 from repro.core.procedure import ProcedureRegistry
 from repro.core.txn import Transaction, TxnResult
 from repro.cpu.costmodel import CpuCostModel
@@ -151,6 +152,79 @@ class CoordinatorResult:
     @property
     def seconds(self) -> float:
         return self.exec_seconds + self.sync_seconds
+
+
+@dataclass(frozen=True)
+class KillOrder:
+    """A scheduled shard failure: fires before ``wave`` of ``bulk``."""
+
+    shard: int
+    bulk: int
+    wave: int = 0
+
+
+class FailoverController:
+    """Failure injection and recovery orchestration for a durable
+    :class:`~repro.cluster.runtime.ClusterTx`.
+
+    Killing a shard models a device loss: the shard's engine and
+    partition become unreachable, younger waves of the in-flight bulk
+    are halted (requeued in timestamp order), and recovery promotes a
+    replica -- checkpoint restore plus WAL-suffix replay -- then
+    re-routes the shard id to the promoted device. The controller only
+    *drives* the machinery; the durable state itself lives in
+    :class:`~repro.cluster.durability.failover.ShardDurability`.
+    """
+
+    def __init__(self, cluster: Any) -> None:
+        self._cluster = cluster
+        self._orders: List[KillOrder] = []
+
+    # -- failure injection ----------------------------------------------
+    def kill(self, shard: int) -> None:
+        """Take ``shard`` down immediately (between bulks)."""
+        self._cluster._kill_shard(shard)
+
+    def schedule_kill(self, shard: int, *, bulk: int, wave: int = 0) -> None:
+        """Arrange for ``shard`` to die just before ``wave`` of
+        ``bulk`` (bulks and waves are 0-indexed; a kill scheduled for
+        a point the run has already passed fires at the next wave
+        boundary)."""
+        if not 0 <= shard < self._cluster.n_shards:
+            raise ClusterError(
+                f"no shard {shard} in a {self._cluster.n_shards}-shard "
+                "cluster"
+            )
+        if bulk < 0 or wave < 0:
+            raise ClusterError("kill bulk/wave must be >= 0")
+        self._orders.append(KillOrder(shard=shard, bulk=bulk, wave=wave))
+
+    def due_kills(self, bulk: int, wave: int) -> List[int]:
+        """Pop the shards whose scheduled failure point has arrived."""
+        due = [
+            o.shard for o in self._orders if (o.bulk, o.wave) <= (bulk, wave)
+        ]
+        if due:
+            self._orders = [
+                o for o in self._orders if (o.bulk, o.wave) > (bulk, wave)
+            ]
+        return due
+
+    @property
+    def pending(self) -> Tuple[KillOrder, ...]:
+        return tuple(self._orders)
+
+    # -- recovery --------------------------------------------------------
+    @property
+    def dead(self) -> "frozenset[int]":
+        return frozenset(self._cluster._dead)
+
+    def recover(self, shard: int) -> RecoveryReport:
+        """Promote a replica of ``shard`` and bring it back online."""
+        return self._cluster.recover_shard(shard)
+
+    def recover_all(self) -> List[RecoveryReport]:
+        return [self.recover(shard) for shard in sorted(self.dead)]
 
 
 class CrossShardCoordinator:

@@ -1,0 +1,71 @@
+"""Durability for the sharded cluster: WAL, checkpoints, failover.
+
+The paper's durability story is one sentence -- "applications may
+achieve durability with non-logging methods, such as replications on
+multiple machines" (Appendix D) -- and this package is that sentence,
+engineered: per-shard write-ahead logs of committed waves
+(:mod:`~repro.cluster.durability.wal`), copy-on-write checkpoints of
+each partition (:mod:`~repro.cluster.durability.checkpoint`), K
+synchronous replicas fed over the simulated interconnect with
+promotion on failure (:mod:`~repro.cluster.durability.failover`), and
+deterministic byte-identical replay
+(:mod:`~repro.cluster.durability.replay`). Definition 1 is what makes
+this cheap: committed bulks are equivalent to a serial timestamp-order
+execution, so a physical redo log replayed in order reproduces the
+exact store state -- no quiescing, no cross-shard coordination on
+recovery.
+"""
+
+from repro.cluster.durability.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    take_checkpoint,
+)
+from repro.cluster.durability.failover import (
+    ClusterDurability,
+    DurabilityConfig,
+    RecoveryReport,
+    Replica,
+    ReplicaSet,
+    ShardDurability,
+)
+from repro.cluster.durability.replay import (
+    ReplayStats,
+    recover_database,
+    replay_records,
+    states_identical,
+)
+from repro.cluster.durability.wal import (
+    LEADER_STRATEGY,
+    PHASE_CHECKPOINT,
+    PHASE_RECOVERY,
+    PHASE_WAL_SYNC,
+    RedoRecorder,
+    ShardWAL,
+    WalRecord,
+    outcomes_of,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "ClusterDurability",
+    "DurabilityConfig",
+    "LEADER_STRATEGY",
+    "PHASE_CHECKPOINT",
+    "PHASE_RECOVERY",
+    "PHASE_WAL_SYNC",
+    "RecoveryReport",
+    "RedoRecorder",
+    "Replica",
+    "ReplicaSet",
+    "ReplayStats",
+    "ShardDurability",
+    "ShardWAL",
+    "WalRecord",
+    "outcomes_of",
+    "recover_database",
+    "replay_records",
+    "states_identical",
+    "take_checkpoint",
+]

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Sequence
 
+from repro.cluster.durability.wal import PHASE_CHECKPOINT, PHASE_WAL_SYNC
 from repro.core.executor import (
     PHASE_EXECUTION,
     PHASE_TRANSFER_IN,
@@ -36,6 +37,12 @@ from repro.core.executor import (
 from repro.errors import ConfigError
 from repro.gpu.costmodel import TimeBreakdown
 from repro.gpu.transfer import PCIeModel, TransferTimeline
+
+#: Phases that occupy the DMA engine on the way out of a bulk: result
+#: copies, WAL replication, and checkpoint ships all ride the
+#: interconnect, so the pipeline can slide them under the next bulk's
+#: kernels just like ordinary output transfers.
+_DMA_OUT_PHASES = (PHASE_TRANSFER_OUT, PHASE_WAL_SYNC, PHASE_CHECKPOINT)
 
 
 @dataclass(frozen=True)
@@ -54,13 +61,15 @@ class BulkTiming:
     def from_result(cls, result: Any) -> "BulkTiming":
         """Extract stage timings from an execution result's breakdown.
 
-        Everything that is not a host<->device copy (generation,
+        Everything that is not interconnect work (generation,
         execution, profiling, coordination) occupies the compute
         engine and cannot overlap with this bulk's own transfers.
+        Durability traffic -- WAL replication and checkpoint ships --
+        is DMA work and drains with the output copies.
         """
         phases = result.breakdown.phases
         t_in = phases.get(PHASE_TRANSFER_IN, 0.0)
-        t_out = phases.get(PHASE_TRANSFER_OUT, 0.0)
+        t_out = sum(phases.get(p, 0.0) for p in _DMA_OUT_PHASES)
         return cls(
             transfer_in_s=t_in,
             compute_s=max(0.0, result.seconds - t_in - t_out),

@@ -121,6 +121,35 @@ class RangeShardRouter(ShardRouter):
         return clamped * self.n_shards // self.key_space
 
 
+def replica_placement(shard: int, n_shards: int, k: int) -> Tuple[int, ...]:
+    """Ring placement of ``k`` replicas for ``shard``.
+
+    Replica ``i`` of shard ``s`` lives on device ``(s + 1 + i) mod N``
+    -- the classic chained-declustering layout: no replica shares its
+    primary's device, and a device failure leaves every partition it
+    hosted recoverable from its successors. ``k >= N`` is rejected
+    (the ring would wrap a copy back onto the primary, silently
+    providing less fault tolerance than configured). With a single
+    device (``N == 1``) the placement degenerates to co-location,
+    which is still useful for overhead accounting in benches.
+    """
+    if not 0 <= shard < n_shards:
+        raise ConfigError(
+            f"shard {shard} out of range for {n_shards}-shard cluster"
+        )
+    if k < 0:
+        raise ConfigError("replica count must be >= 0")
+    if n_shards == 1:
+        return tuple(0 for _ in range(k))
+    if k >= n_shards:
+        raise ConfigError(
+            f"{k} replicas do not fit a {n_shards}-device ring without "
+            "co-locating a copy with its primary; use k <= "
+            f"{n_shards - 1}"
+        )
+    return tuple((shard + 1 + i) % n_shards for i in range(k))
+
+
 def make_router(
     router: Union[str, ShardRouter],
     n_shards: int,

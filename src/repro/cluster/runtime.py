@@ -32,14 +32,26 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.cluster.coordinator import CrossShardCoordinator
+from repro.cluster.coordinator import CrossShardCoordinator, FailoverController
+from repro.cluster.durability.failover import (
+    ClusterDurability,
+    DurabilityConfig,
+    RecoveryReport,
+)
+from repro.cluster.durability.replay import states_identical
+from repro.cluster.durability.wal import (
+    LEADER_STRATEGY,
+    PHASE_CHECKPOINT,
+    PHASE_RECOVERY,
+    PHASE_WAL_SYNC,
+)
 from repro.cluster.partition import key_space_of, partition_database
 from repro.cluster.router import ShardRouter, make_router
 from repro.core.chooser import ChooserThresholds
 from repro.core.engine import GPUTx, validate_strategy_options
 from repro.core.procedure import TransactionType
 from repro.core.txn import ResultPool, Transaction, TransactionPool, TxnResult
-from repro.errors import ClusterError
+from repro.errors import ClusterError, RecoveryError, ShardFailure
 from repro.gpu.costmodel import TimeBreakdown
 from repro.gpu.spec import C1060, GPUSpec
 from repro.storage.catalog import Database
@@ -47,6 +59,25 @@ from repro.storage.catalog import Database
 #: Breakdown phases specific to the cluster runtime.
 PHASE_COORDINATOR = "coordinator"
 PHASE_SYNC = "sync"
+
+
+class _DeadHandle:
+    """Placeholder for a killed shard's engine/adapter.
+
+    Any attribute access models touching a lost device and raises
+    :class:`~repro.errors.ShardFailure`; the wave loop checks for dead
+    shards before dispatching, so this only fires on misuse.
+    """
+
+    def __init__(self, shard: int, role: str) -> None:
+        object.__setattr__(self, "_shard", shard)
+        object.__setattr__(self, "_role", role)
+
+    def __getattr__(self, name: str):
+        raise ShardFailure(
+            f"shard {self._shard} is down: its {self._role} is "
+            "unreachable until a replica is promoted"
+        )
 
 
 @dataclass
@@ -72,6 +103,13 @@ class ClusterExecutionResult:
     n_cross_shard: int = 0
     #: Cumulative busy seconds per shard engine (for utilisation).
     shard_busy_s: List[float] = field(default_factory=list)
+    #: Replica promotions performed during this bulk (auto failover).
+    failovers: List[RecoveryReport] = field(default_factory=list)
+    #: True when a shard failure halted the bulk's younger waves.
+    halted: bool = False
+    #: Transactions requeued (halted waves; they rejoin the pool in
+    #: timestamp order and execute in a later bulk).
+    requeued: int = 0
 
     @property
     def seconds(self) -> float:
@@ -117,6 +155,7 @@ class ClusterTx:
         use_undo_logging: bool = True,
         thresholds: Optional[ChooserThresholds] = None,
         sync_latency_s: Optional[float] = None,
+        durability: Optional[DurabilityConfig] = None,
     ) -> None:
         key_space = key_space_of(db) if router == "range" else None
         self.router = make_router(router, n_shards, key_space=key_space)
@@ -146,6 +185,22 @@ class ClusterTx:
             self.router,
             sync_latency_s=sync_latency_s,
         )
+        # -- durability (WAL + checkpoints + replicas) -----------------
+        self._bulk_seq = 0
+        self._sim_clock = 0.0
+        self._dead: "set[int]" = set()
+        #: Dead shards' engine objects: the *device* is lost, but the
+        #: host-side handle survives -- recovery rebuilds through
+        #: GPUTx.rebuild_on so engine configuration cannot diverge,
+        #: and verify_recovery diffs against its (last durable) store.
+        self._dead_engines: Dict[int, GPUTx] = {}
+        self.durability: Optional[ClusterDurability] = None
+        self.failover: Optional[FailoverController] = None
+        if durability is not None:
+            self.durability = ClusterDurability(
+                durability, self.shards, self.n_shards
+            )
+            self.failover = FailoverController(self)
 
     # ------------------------------------------------------------------
     # Registration and submission (mirrors the GPUTx surface).
@@ -238,6 +293,7 @@ class ClusterTx:
         )
         if not transactions:
             return out
+        self._bulk_seq += 1
         if strategy == "auto" and options:
             # Shard engines each filter the options for their own
             # chosen strategy; dedup their drop warnings to one per
@@ -258,10 +314,34 @@ class ClusterTx:
                     )
         else:
             self._run_waves(transactions, strategy, options, out)
+        if self.durability is not None:
+            self._durability_epilogue(out)
         out.results.sort(key=lambda r: r.txn_id)
         self.results.record_many(out.results)
-        self._check_replicated_tables()
+        if not self._dead:
+            self._check_replicated_tables()
+        self._sim_clock += out.seconds
         return out
+
+    def _durability_epilogue(self, out: ClusterExecutionResult) -> None:
+        """Post-bulk durability work: auto failover, then checkpoints."""
+        config = self.durability.config
+        if self._dead and config.auto_failover:
+            for shard in sorted(self._dead):
+                report = self.recover_shard(shard)
+                out.failovers.append(report)
+                out.breakdown.add(PHASE_RECOVERY, report.seconds)
+        if self._dead:
+            return
+        bulk_id = self._bulk_seq - 1
+        now = self._sim_clock + out.breakdown.total
+        # Shards checkpoint concurrently: charge the slowest ship.
+        checkpoint_wait = max(
+            unit.note_bulk(engine.db, bulk_id, now)
+            for unit, engine in zip(self.durability.units, self.shards)
+        )
+        if checkpoint_wait > 0.0:
+            out.breakdown.add(PHASE_CHECKPOINT, checkpoint_wait)
 
     def _run_waves(
         self,
@@ -274,10 +354,26 @@ class ClusterTx:
         # grouping both read from this map.
         shard_map = {t.txn_id: self.shards_of(t) for t in transactions}
         waves = self._segment(transactions, shard_map)
+        bulk_id = self._bulk_seq - 1
         for index, (kind, wave_txns) in enumerate(waves):
+            if self.failover is not None:
+                for shard in self.failover.due_kills(bulk_id, index):
+                    self._kill_shard(shard)
+            if self._dead:
+                # A device is gone: halt this and every younger wave
+                # (running any could commit work out of timestamp
+                # order with respect to the dead shard's lost wave).
+                # The halted transactions rejoin the pool in id order
+                # and execute after promotion.
+                rest = [txn for _kind, txns in waves[index:] for txn in txns]
+                self.pool.requeue(rest)
+                out.requeued += len(rest)
+                out.halted = True
+                break
             if kind == "parallel":
                 deferred = self._run_parallel_wave(
-                    wave_txns, shard_map, strategy, options, out
+                    wave_txns, shard_map, strategy, options, out,
+                    bulk_id, index,
                 )
                 if deferred:
                     # A shard deferred older transactions (streaming
@@ -294,7 +390,9 @@ class ClusterTx:
                         self.pool.requeue(rest)
                     break
             else:
-                self._run_coordinator_wave(wave_txns, out)
+                self._run_coordinator_wave(
+                    wave_txns, shard_map, out, bulk_id, index
+                )
 
     # ------------------------------------------------------------------
     def _segment(
@@ -323,6 +421,8 @@ class ClusterTx:
         strategy: str,
         options: Dict[str, Any],
         out: ClusterExecutionResult,
+        bulk_id: int,
+        wave_index: int,
     ) -> bool:
         """Run one parallel wave; returns True if any shard deferred
         transactions (the caller must then stop the bulk)."""
@@ -338,6 +438,8 @@ class ClusterTx:
         )
         critical_breakdown: Optional[TimeBreakdown] = None
         any_deferred = False
+        wal_wait = 0.0
+        now = self._sim_clock + out.breakdown.total
         for shard, txns in sorted(by_shard.items()):
             engine = self.shards[shard]
             result = engine.execute_bulk(txns, strategy=strategy, **dict(options))
@@ -353,22 +455,71 @@ class ClusterTx:
             if result.seconds > wave.seconds:
                 wave.seconds = result.seconds
                 critical_breakdown = result.breakdown
+            if self.durability is not None:
+                # The wave is not acknowledged until the shard's WAL
+                # record reaches all its replicas; shards replicate in
+                # parallel, so the wave pays the slowest sync.
+                wal_wait = max(
+                    wal_wait,
+                    self.durability.unit(shard).commit_wave(
+                        bulk_id=bulk_id,
+                        wave=wave_index,
+                        strategy=result.strategy,
+                        results=result.results,
+                        journal_epoch=engine.adapter.journal.epoch,
+                        now=now,
+                    ),
+                )
         # The wave ends when its slowest shard does: charge the
         # critical shard's phase breakdown, not the sum over shards.
         if critical_breakdown is not None:
             for phase, seconds in critical_breakdown.phases.items():
                 out.breakdown.add(phase, seconds)
+        if wal_wait > 0.0:
+            out.breakdown.add(PHASE_WAL_SYNC, wal_wait)
         out.n_single_shard += len(wave_txns)
         out.waves.append(wave)
         return any_deferred
 
     def _run_coordinator_wave(
-        self, wave_txns: List[Transaction], out: ClusterExecutionResult
+        self,
+        wave_txns: List[Transaction],
+        shard_map: Dict[int, "frozenset[int]"],
+        out: ClusterExecutionResult,
+        bulk_id: int,
+        wave_index: int,
     ) -> None:
         result = self.coordinator.execute(wave_txns)
         out.results.extend(result.results)
         out.breakdown.add(PHASE_COORDINATOR, result.exec_seconds)
         out.breakdown.add(PHASE_SYNC, result.sync_seconds)
+        if self.durability is not None:
+            # The leader's writes landed on the touched shards' stores
+            # (and in their recorders); every shard seals its share of
+            # the wave -- the outcomes of the transactions that touch
+            # it. Untouched shards append nothing.
+            now = self._sim_clock + out.breakdown.total
+            wal_wait = 0.0
+            for shard in range(self.n_shards):
+                wal_wait = max(
+                    wal_wait,
+                    self.durability.unit(shard).commit_wave(
+                        bulk_id=bulk_id,
+                        wave=wave_index,
+                        strategy=LEADER_STRATEGY,
+                        results=[
+                            r
+                            for r in result.results
+                            if shard in shard_map[r.txn_id]
+                        ],
+                        journal_epoch=(
+                            self.shards[shard].adapter.journal.epoch
+                        ),
+                        now=now,
+                    ),
+                )
+            if wal_wait > 0.0:
+                out.breakdown.add(PHASE_WAL_SYNC, wal_wait)
         out.n_cross_shard += len(wave_txns)
         out.waves.append(
             WaveReport(
@@ -378,6 +529,88 @@ class ClusterTx:
                 shards=result.shards_touched,
             )
         )
+
+    # ------------------------------------------------------------------
+    # Failure injection and recovery (driven by FailoverController).
+    # ------------------------------------------------------------------
+    @property
+    def bulk_seq(self) -> int:
+        """Number of non-empty bulks executed so far."""
+        return self._bulk_seq
+
+    @property
+    def dead_shards(self) -> "frozenset[int]":
+        return frozenset(self._dead)
+
+    def _kill_shard(self, shard: int) -> None:
+        """Simulate losing ``shard``'s device: engine and partition
+        become unreachable; only the durable state (host/replica-side
+        WAL + checkpoints) survives."""
+        if self.durability is None:
+            raise ClusterError(
+                "cannot kill a shard without durability enabled: its "
+                "partition would be unrecoverable"
+            )
+        if not 0 <= shard < self.n_shards:
+            raise ClusterError(
+                f"no shard {shard} in a {self.n_shards}-shard cluster"
+            )
+        if shard in self._dead:
+            return
+        engine = self.shards[shard]
+        unit = self.durability.unit(shard)
+        # Anything captured since the last sealed wave never reached
+        # the replicas; it dies with the device.
+        unit.recorder.cut()
+        engine.adapter.detach_recorder(unit.recorder)
+        # The last durable state equals the volatile state here (waves
+        # are sealed synchronously); the handle lets recovery rebuild
+        # an identically-configured engine and verify byte-identity.
+        self._dead_engines[shard] = engine
+        self._dead.add(shard)
+        self.shards[shard] = _DeadHandle(shard, "engine")  # type: ignore[assignment]
+        self.coordinator.adapter.adapters[shard] = _DeadHandle(
+            shard, "store adapter"
+        )
+
+    def recover_shard(self, shard: int) -> RecoveryReport:
+        """Promote a replica of ``shard``: checkpoint restore + WAL
+        suffix replay, then re-route the shard id to the new engine."""
+        if self.durability is None:
+            raise ClusterError("durability is not enabled on this cluster")
+        if shard not in self._dead:
+            raise ClusterError(f"shard {shard} is not down")
+        unit = self.durability.unit(shard)
+        db, _stats, report = unit.promote()
+        # Peek (don't pop) so a failed verification leaves the shard
+        # dead-but-recoverable instead of unrecoverable.
+        lost = self._dead_engines[shard]
+        if self.durability.config.verify_recovery:
+            if not states_identical(db, lost.db):
+                raise RecoveryError(
+                    f"promoted replica of shard {shard} diverged from "
+                    "the last durable state"
+                )
+            report.verified = True
+        # One reconstruction path: the promoted engine inherits the
+        # lost engine's exact configuration and type-id order.
+        engine = lost.rebuild_on(db)
+        engine.adapter.attach_recorder(unit.recorder)
+        del self._dead_engines[shard]
+        self.shards[shard] = engine
+        self.coordinator.adapter.adapters[shard] = engine.adapter
+        if shard == 0:
+            # The cluster-level registry was shard 0's; rebind so
+            # later register() calls stay visible to routing.
+            self.registry = engine.registry
+            self.coordinator.registry = engine.registry
+        self._dead.discard(shard)
+        if self.durability.config.restore_redundancy:
+            report.seconds += unit.reseed(
+                engine.db, self._bulk_seq - 1,
+                self._sim_clock + report.seconds,
+            )
+        return report
 
     def _check_replicated_tables(self) -> None:
         """Fail loudly if a bulk mutated a replicated table.

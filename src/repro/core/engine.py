@@ -127,6 +127,26 @@ class GPUTx:
         (type, params, submit_time) triples."""
         return self.pool.submit_specs(transactions)
 
+    def rebuild_on(self, db: Database) -> "GPUTx":
+        """A fresh engine over ``db`` with this engine's configuration.
+
+        Registers the same transaction types in the same order, so
+        type ids are preserved -- the contract replica promotion needs
+        when it swaps a recovered database under a shard id
+        (:mod:`repro.cluster.durability`).
+        """
+        return GPUTx(
+            db,
+            procedures=[
+                self.registry.get(name)
+                for name in self.registry.type_names
+            ],
+            spec=self.spec,
+            block_size=self.engine.block_size,
+            use_undo_logging=self.use_undo_logging,
+            thresholds=self.thresholds,
+        )
+
     # ------------------------------------------------------------------
     # Device initialization (Figure 16's one-off component).
     # ------------------------------------------------------------------

@@ -86,3 +86,84 @@ def validate_two_phase(stream: op_ir.OpStream, feed: Any = 0) -> bool:
 def undo_bytes(entries: Iterable[UndoEntry]) -> int:
     """Device memory consumed by a log (16 B per record, Appendix D)."""
     return 16 * sum(1 for _ in entries)
+
+
+# ---------------------------------------------------------------------------
+# Redo logging (the durability layer's write-ahead records).
+#
+# The paper drops re-do logging on the single device ("applications may
+# achieve durability with non-logging methods, such as replications on
+# multiple machines"); the cluster runtime takes exactly that route --
+# per-shard WALs shipped to replicas (repro.cluster.durability). A redo
+# entry is one *physical* mutation in application order; replaying a
+# shard's entries in order against a checkpoint of its partition is
+# byte-identical to the original execution, because the simulator is
+# deterministic and the entries capture the post-image of every store
+# mutation (including abort rollbacks, which appear as ordinary writes
+# and cancel records).
+# ---------------------------------------------------------------------------
+
+#: One redo record: (kind, table, column, row, payload). ``column`` is
+#: empty and ``payload`` is the inserted row tuple for inserts; both
+#: are empty/None for deletes and cancels.
+RedoEntry = Tuple[str, str, str, int, Any]
+
+REDO_WRITE = "write"
+REDO_INSERT = "insert"
+REDO_DELETE = "delete"
+REDO_CANCEL_INSERT = "cancel-insert"
+REDO_CANCEL_DELETE = "cancel-delete"
+
+
+def apply_redo(adapter, entries: Sequence[RedoEntry]) -> int:
+    """Apply redo ``entries`` in order against a StoreAdapter.
+
+    Returns the number of entries applied. Raises
+    :class:`~repro.errors.RecoveryError` when an entry cannot be
+    applied, or when a replayed insert lands on a different physical
+    row than it did originally (replay divergence -- the checkpoint
+    and the log disagree).
+    """
+    count = 0
+    for entry in entries:
+        kind, table, column, row, payload = entry
+        try:
+            if kind == REDO_WRITE:
+                adapter.write(table, column, row, payload)
+            elif kind == REDO_INSERT:
+                landed = adapter.insert(table, payload)
+                if landed != row:
+                    raise RecoveryError(
+                        f"replayed insert into {table!r} landed on row "
+                        f"{landed}, originally row {row}: checkpoint and "
+                        "WAL disagree"
+                    )
+            elif kind == REDO_DELETE:
+                adapter.delete(table, row)
+            elif kind == REDO_CANCEL_INSERT:
+                adapter.cancel_insert(table, row)
+            elif kind == REDO_CANCEL_DELETE:
+                adapter.cancel_delete(table, row)
+            else:
+                raise RecoveryError(f"unknown redo kind {kind!r}")
+        except RecoveryError:
+            raise
+        except Exception as exc:
+            raise RecoveryError(f"cannot redo {entry!r}: {exc}") from exc
+        count += 1
+    return count
+
+
+def redo_bytes(entries: Iterable[RedoEntry]) -> int:
+    """Wire size of a redo log: 16 B header per entry plus payload."""
+    total = 0
+    for kind, _table, _column, _row, payload in entries:
+        total += 16
+        if kind == REDO_WRITE:
+            total += len(payload) if isinstance(payload, (str, bytes)) else 8
+        elif kind == REDO_INSERT:
+            for value in payload:
+                total += (
+                    len(value) if isinstance(value, (str, bytes)) else 8
+                )
+    return total

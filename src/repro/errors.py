@@ -80,3 +80,15 @@ class ConfigError(ReproError):
 
 class ClusterError(ReproError):
     """The sharded cluster runtime hit a routing or partitioning failure."""
+
+
+class ShardFailure(ClusterError):
+    """A shard's device is down (killed by failure injection).
+
+    Raised when anything touches a dead shard's engine or store
+    adapter before the shard has been recovered by replica promotion.
+    """
+
+
+class DurabilityError(ReproError):
+    """WAL/checkpoint/replica bookkeeping was used incorrectly."""

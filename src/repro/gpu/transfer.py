@@ -89,6 +89,16 @@ class PCIeModel:
         self.ledger.record(component, nbytes, seconds)
         return seconds
 
+    def to_peer(self, nbytes: int, component: str = "replication") -> float:
+        """One DMA to a peer device (replica feed, checkpoint ship).
+
+        Peer copies ride the same interconnect as host<->device
+        traffic, so they share the latency/bandwidth model; the
+        separate ledger component keeps durability traffic visible in
+        the per-bulk accounting.
+        """
+        return self.to_device(nbytes, component=component)
+
     def initialize(self, nbytes: int) -> float:
         """One-off load of tables and indexes into device memory."""
         return self.to_device(nbytes, component="initialization")

@@ -28,6 +28,10 @@ class MutationJournal:
         self._deleted: Dict[str, Set[int]] = {}
         self.total_inserts = 0
         self.total_deletes = 0
+        #: Batch boundaries crossed so far. The durability layer stamps
+        #: this into WAL records so replayed state can be audited
+        #: against the batch boundary it was captured at.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     def record_insert(self, table: str, row: int) -> None:
@@ -69,3 +73,4 @@ class MutationJournal:
         """Batch boundary: the staged mutations become permanent."""
         self._inserted.clear()
         self._deleted.clear()
+        self.epoch += 1

@@ -158,6 +158,52 @@ class Database:
             other.create_static_map(name, mapping)
         return other
 
+    def fork(self) -> "Database":
+        """A copy-on-write fork of the *data*: tables and static maps.
+
+        Indexes are deliberately not forked -- they are derived state,
+        rebuilt from the rows when a checkpoint is restored (see
+        :class:`repro.cluster.durability.checkpoint.Checkpoint`).
+        Static maps are shared by reference (read-only by
+        construction). Forking is O(tables x columns), independent of
+        row count, which is what makes per-bulk checkpoints viable.
+        """
+        other = Database(self.layout)
+        for name in self._table_order:
+            other.tables[name] = self.tables[name].fork()
+            other._table_order.append(name)
+        for name, mapping in self.static_maps.items():
+            other.static_maps[name] = mapping
+        return other
+
+    def index_specs(self) -> List[Tuple[str, str, Tuple[str, ...], bool]]:
+        """(name, table, columns, unique) for every index -- the
+        metadata needed to rebuild indexes over restored rows."""
+        return [
+            (ix.name, ix.table, ix.columns, ix.unique)
+            for ix in self.indexes.values()
+        ]
+
+    def physical_state(
+        self,
+    ) -> Dict[str, List[Tuple[Tuple[Any, ...], bool]]]:
+        """Exact physical content per table: every slot, in row order,
+        with its tombstone flag.
+
+        Stricter than :meth:`logical_state` (which canonicalises row
+        order): two databases with equal physical state are
+        byte-identical stores. This is the equality the durability
+        layer guarantees between a promoted replica and the failed
+        shard's last durable state.
+        """
+        state: Dict[str, List[Tuple[Tuple[Any, ...], bool]]] = {}
+        for name, table in self.tables.items():
+            state[name] = [
+                (table.read_row(r), table.is_deleted(r))
+                for r in range(table.n_rows)
+            ]
+        return state
+
     def logical_state(self) -> Dict[str, List[Tuple[Any, ...]]]:
         """Canonical content per table: sorted live row tuples.
 
@@ -193,13 +239,31 @@ class StoreAdapter:
     def __init__(self, db: Database) -> None:
         self.db = db
         self.journal = MutationJournal()
+        #: Redo recorders (``repro.cluster.durability.wal``) observing
+        #: every physical mutation in application order. Kept as a
+        #: plain list so the hot path is one truthiness check when no
+        #: durability layer is attached.
+        self._recorders: List[Any] = []
+
+    def attach_recorder(self, recorder: Any) -> None:
+        """Start streaming physical mutations to ``recorder``."""
+        if recorder not in self._recorders:
+            self._recorders.append(recorder)
+
+    def detach_recorder(self, recorder: Any) -> None:
+        if recorder in self._recorders:
+            self._recorders.remove(recorder)
 
     # -- DeviceStore protocol -------------------------------------------
     def read(self, table: str, column: str, row: int) -> Any:
         return self.db.table(table).read(column, row)
 
     def write(self, table: str, column: str, row: int, value: Any) -> Any:
-        return self.db.table(table).write(column, row, value)
+        old = self.db.table(table).write(column, row, value)
+        if self._recorders:
+            for recorder in self._recorders:
+                recorder.on_write(table, column, row, value)
+        return old
 
     def address_of(self, table: str, column: str, row: int) -> Tuple[int, int]:
         tbl = self.db.table(table)
@@ -235,6 +299,9 @@ class StoreAdapter:
             key = Database._key_from_values(tbl.schema, ix.columns, values)
             ix.insert(key, row)
         self.journal.record_insert(table, row)
+        if self._recorders:
+            for recorder in self._recorders:
+                recorder.on_insert(table, row, tuple(values))
         return row
 
     def delete(self, table: str, row: int) -> None:
@@ -250,6 +317,9 @@ class StoreAdapter:
         self._unindex_row(table, row)
         tbl.mark_deleted(row)
         self.journal.record_delete(table, row)
+        if self._recorders:
+            for recorder in self._recorders:
+                recorder.on_delete(table, row)
 
     def row_width(self, table: str) -> int:
         schema = self.db.table(table).schema
@@ -263,6 +333,9 @@ class StoreAdapter:
         self._unindex_row(table, row)
         self.db.table(table).mark_deleted(row)
         self.journal.forget_insert(table, row)
+        if self._recorders:
+            for recorder in self._recorders:
+                recorder.on_cancel_insert(table, row)
 
     def cancel_delete(self, table: str, row: int) -> None:
         """Undo one delete of an aborting transaction."""
@@ -272,6 +345,9 @@ class StoreAdapter:
             key = Database._key_of(tbl, ix.columns, row)
             ix.insert(key, row)
         self.journal.forget_delete(table, row)
+        if self._recorders:
+            for recorder in self._recorders:
+                recorder.on_cancel_delete(table, row)
 
     # -- batch boundary -----------------------------------------------------
     def apply_batch(self) -> None:

@@ -25,17 +25,28 @@ _MIN_CAPACITY = 64
 
 
 class _Column:
-    """One column's backing storage (typed array or object array)."""
+    """One column's backing storage (typed array or object array).
 
-    __slots__ = ("definition", "data", "size")
+    ``shared`` marks the backing array as co-owned by a copy-on-write
+    fork (:meth:`ColumnTable.fork`); the first mutation copies it.
+    """
+
+    __slots__ = ("definition", "data", "size", "shared")
 
     def __init__(self, definition: ColumnDef, capacity: int) -> None:
         self.definition = definition
         self.size = 0
+        self.shared = False
         if definition.is_string:
             self.data = np.empty(capacity, dtype=object)
         else:
             self.data = np.zeros(capacity, dtype=definition.numpy_dtype)
+
+    def prepare_write(self) -> None:
+        """Detach from any fork before mutating in place."""
+        if self.shared:
+            self.data = self.data.copy()
+            self.shared = False
 
     def ensure_capacity(self, n: int) -> None:
         cap = len(self.data)
@@ -48,6 +59,7 @@ class _Column:
             grown = np.zeros(new_cap, dtype=self.data.dtype)
         grown[: self.size] = self.data[: self.size]
         self.data = grown
+        self.shared = False
 
 
 class ColumnTable:
@@ -61,7 +73,41 @@ class ColumnTable:
             c.name: _Column(c, capacity) for c in schema.columns
         }
         self._deleted = np.zeros(capacity, dtype=bool)
+        self._deleted_shared = False
         self.n_rows = 0
+
+    # ------------------------------------------------------------------
+    # Copy-on-write forking (checkpoints, Appendix D's replication).
+    # ------------------------------------------------------------------
+    def fork(self) -> "ColumnTable":
+        """A copy-on-write twin of this table.
+
+        Both tables share the backing arrays until either side mutates
+        a column (or the tombstone bitmap), which copies just that
+        array. Forking is O(columns), not O(rows) -- cheap enough to
+        take a checkpoint of a shard partition after every bulk.
+        """
+        other = ColumnTable.__new__(ColumnTable)
+        other.schema = self.schema
+        other._columns = {}
+        for name, col in self._columns.items():
+            col.shared = True
+            twin = _Column.__new__(_Column)
+            twin.definition = col.definition
+            twin.data = col.data
+            twin.size = col.size
+            twin.shared = True
+            other._columns[name] = twin
+        self._deleted_shared = True
+        other._deleted = self._deleted
+        other._deleted_shared = True
+        other.n_rows = self.n_rows
+        return other
+
+    def _prepare_deleted_write(self) -> None:
+        if self._deleted_shared:
+            self._deleted = self._deleted.copy()
+            self._deleted_shared = False
 
     # ------------------------------------------------------------------
     # Cell access.
@@ -93,6 +139,7 @@ class ColumnTable:
                 f"no column {column!r} in table {self.schema.name!r}"
             ) from None
         old = col.data[row]
+        col.prepare_write()
         col.data[row] = value
         return old.item() if isinstance(old, np.generic) else old
 
@@ -112,6 +159,7 @@ class ColumnTable:
         new_size = start + len(rows)
         for col in self._columns.values():
             col.ensure_capacity(new_size)
+            col.prepare_write()
             col.size = new_size
         if len(self._deleted) < new_size:
             grown = np.zeros(
@@ -119,6 +167,7 @@ class ColumnTable:
             )
             grown[: self.n_rows] = self._deleted[: self.n_rows]
             self._deleted = grown
+            self._deleted_shared = False
         for i, row in enumerate(rows):
             if len(row) != width:
                 raise StorageError(
@@ -146,21 +195,25 @@ class ColumnTable:
         for name, values in columns.items():
             col = self._columns[name]
             col.ensure_capacity(new_size)
+            col.prepare_write()
             col.data[start:new_size] = values
             col.size = new_size
         if len(self._deleted) < new_size:
             grown = np.zeros(new_size, dtype=bool)
             grown[: self.n_rows] = self._deleted[: self.n_rows]
             self._deleted = grown
+            self._deleted_shared = False
         self.n_rows = new_size
 
     def mark_deleted(self, row: int) -> None:
         self._check_row(row)
+        self._prepare_deleted_write()
         self._deleted[row] = True
 
     def unmark_deleted(self, row: int) -> None:
         """Restore a tombstoned row (abort rollback of a delete)."""
         self._check_row(row)
+        self._prepare_deleted_write()
         self._deleted[row] = False
 
     def is_deleted(self, row: int) -> bool:

@@ -34,6 +34,16 @@ class RowTable:
             offset += col.width + (-col.width % 4)
         self._stride = offset
 
+    # -- copy-on-write forking ------------------------------------------
+    def fork(self) -> "RowTable":
+        """A copy-on-write twin (same semantics as ColumnTable.fork)."""
+        other = RowTable.__new__(RowTable)
+        other.schema = self.schema
+        other._inner = self._inner.fork()
+        other._offsets = self._offsets
+        other._stride = self._stride
+        return other
+
     # -- delegated functional operations --------------------------------
     @property
     def n_rows(self) -> int:

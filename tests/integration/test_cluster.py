@@ -392,6 +392,56 @@ class TestClusterSurface:
         assert len(cluster.pool) == 1
         assert cluster.run_bulk(strategy="auto").committed == 1
 
+    def test_explicit_strategy_rejects_misdirected_option(self, rng):
+        """PR 1's validate_strategy_options contract at the ClusterTx
+        level: an option owned by another strategy is rejected before
+        any shard's pool is drained."""
+        from repro import ConfigError
+
+        cluster = ClusterTx(
+            build_ledger_db(8), procedures=LEDGER_PROCEDURES, n_shards=2,
+        )
+        cluster.submit("deposit", (1, 5))
+        with pytest.raises(ConfigError, match="does not accept"):
+            cluster.run_bulk(strategy="kset", partition_size=64)
+        assert len(cluster.pool) == 1
+        # execute_bulk validates too, so the pipelined path is covered.
+        with pytest.raises(ConfigError, match="does not accept"):
+            cluster.execute_bulk(cluster.pool.peek(), strategy="tpl",
+                                 max_rounds=2)
+        assert cluster.run_bulk(strategy="kset").committed == 1
+
+    def test_unknown_strategy_rejected_cluster_level(self):
+        from repro import ConfigError
+
+        cluster = ClusterTx(
+            build_ledger_db(8), procedures=LEDGER_PROCEDURES, n_shards=2,
+        )
+        cluster.submit("deposit", (1, 5))
+        with pytest.raises(ConfigError, match="unknown strategy"):
+            cluster.run_bulk(strategy="ksett")
+        assert len(cluster.pool) == 1
+
+    def test_inapplicable_auto_option_warns_once_per_bulk(self, rng):
+        """Every shard drops the inapplicable option under 'auto', but
+        the cluster dedups the N per-shard warnings to one."""
+        specs = ledger_specs(rng, 200, 32, cross_prob=0.0)
+        cluster = ClusterTx(
+            build_ledger_db(32), procedures=LEDGER_PROCEDURES, n_shards=4,
+        )
+        cluster.submit_many(specs)
+        with pytest.warns(UserWarning, match="per_task_launch_overhead") as rec:
+            result = cluster.run_bulk(
+                strategy="auto", per_task_launch_overhead=1e-6,
+            )
+        # All four shards executed (so each would have warned) ...
+        assert set(result.waves[0].strategies) == {0, 1, 2, 3}
+        # ... but the caller sees exactly one warning.
+        drops = [w for w in rec
+                 if "per_task_launch_overhead" in str(w.message)]
+        assert len(drops) == 1
+        assert cluster.logical_state() == serial_ledger_state(specs, 32)
+
     def test_replicated_table_mutation_detected(self):
         """Replicated (partition-key-less) tables are read-only: a
         shard-local write desyncs the replicas and must fail loudly."""
