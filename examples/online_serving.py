@@ -1,0 +1,85 @@
+"""Online serving quickstart: stream TM1 arrivals through the ingest
+runtime under a latency SLO.
+
+Builds a TM1 database, generates a Poisson arrival stream, and serves
+it three ways: with the SLO-driven adaptive bulk former, with a fixed
+bulk size, and sharded over a 4-GPU ClusterTx with per-shard admission
+queues. Prints sustained throughput, the end-to-end latency breakdown
+(queue wait / execution / transfer percentiles), and the adaptive
+former's bulk-size trajectory.
+
+Run:  python examples/online_serving.py
+"""
+
+from repro import (
+    AdaptiveBulkFormer,
+    AdmissionController,
+    ClusterTx,
+    FixedBulkFormer,
+    GPUTx,
+    ServeRuntime,
+    SLOConfig,
+)
+from repro.workloads import tm1
+from repro.workloads.base import make_rng, poisson_arrival_times, timed_specs
+
+
+def describe(label: str, report) -> None:
+    lat = report.latency
+    print(f"{label:16s}: {report.sustained_ktps:8.1f} ktps sustained, "
+          f"p95 {lat['total'].p95 * 1e3:6.2f} ms "
+          f"(queue {lat['queue'].p95 * 1e3:.2f} "
+          f"+ exec {lat['execution'].p95 * 1e3:.2f} "
+          f"+ xfer {lat['transfer'].p95 * 1e3:.2f}), "
+          f"mean bulk {report.mean_bulk:6.0f}, "
+          f"shed {report.admission.rejected}")
+
+
+def main() -> None:
+    db = tm1.build_database(scale_factor=2)
+    arrivals = tm1.generate_timed_transactions(
+        db, 6_000, rate_tps=200_000, pattern="poisson", seed=11
+    )
+    slo = SLOConfig(target_p95_s=0.005, min_bulk=24, max_bulk=4096)
+    print(f"{len(arrivals)} TM1 arrivals at 200 ktps offered; "
+          f"SLO: p95 <= {slo.target_p95_s * 1e3:.1f} ms\n")
+
+    # 1. Adaptive former on a single simulated GPU.
+    engine = GPUTx(tm1.build_database(2), procedures=tm1.PROCEDURES)
+    runtime = ServeRuntime(engine, former=AdaptiveBulkFormer(slo))
+    report = runtime.run(arrivals)
+    describe("adaptive", report)
+    sizes = [b.size for b in report.bulks]
+    print(f"  bulk-size trajectory: {sizes[:8]} ... {sizes[-3:]}")
+
+    # 2. A fixed bulk size for comparison.
+    engine = GPUTx(tm1.build_database(2), procedures=tm1.PROCEDURES)
+    runtime = ServeRuntime(
+        engine, former=FixedBulkFormer(256, max_form_wait_s=slo.form_wait_s)
+    )
+    describe("fixed-256", runtime.run(arrivals))
+
+    # 3. Sharded: arrivals route through the ShardRouter at admission;
+    #    per-shard queues bound each device's backlog.
+    db = tm1.build_database(2)
+    cluster = ClusterTx(db, procedures=tm1.CLUSTER_PROCEDURES, n_shards=4)
+    specs = tm1.generate_cluster_transactions(
+        db, 2_000, shard_of=cluster.router.shard_of_key,
+        cross_shard_fraction=0.05, seed=13,
+    )
+    times = poisson_arrival_times(make_rng(17), len(specs), 40_000)
+    runtime = ServeRuntime(
+        cluster,
+        former=AdaptiveBulkFormer(slo),
+        admission=AdmissionController(
+            1 << 16,
+            max_pending_per_shard=1 << 14,
+            router=cluster.router,
+            registry=cluster.registry,
+        ),
+    )
+    describe("4-shard cluster", runtime.run(timed_specs(specs, times)))
+
+
+if __name__ == "__main__":
+    main()

@@ -40,8 +40,21 @@ from repro.errors import (
     RecoveryError,
     ReproError,
     SchemaError,
+    ServeError,
     ShardFailure,
     StorageError,
+)
+# NOTE: the convenience function ``repro.serve.serve`` is deliberately
+# not re-exported here -- binding the name ``serve`` on the package
+# would shadow the ``repro.serve`` submodule attribute and break
+# ``import repro.serve`` users.
+from repro.serve import (
+    AdaptiveBulkFormer,
+    AdmissionController,
+    FixedBulkFormer,
+    ServeReport,
+    ServeRuntime,
+    SLOConfig,
 )
 from repro.storage.catalog import Database, StoreAdapter
 from repro.storage.schema import ColumnDef, DataType, TableSchema
@@ -80,7 +93,14 @@ __all__ = [
     "ExecutionError",
     "ReproError",
     "SchemaError",
+    "ServeError",
     "StorageError",
+    "AdaptiveBulkFormer",
+    "AdmissionController",
+    "FixedBulkFormer",
+    "SLOConfig",
+    "ServeReport",
+    "ServeRuntime",
     "Database",
     "StoreAdapter",
     "ColumnDef",

@@ -1,0 +1,12 @@
+"""``python -m repro.bench --out BENCH_PR<k>.json``.
+
+Delegates to :func:`repro.bench.harness.main`: runs every figure
+function in smoke mode and writes the headline-metric JSON the CI
+perf-trajectory lane uploads and gates on.
+"""
+
+import sys
+
+from repro.bench.harness import main
+
+sys.exit(main())

@@ -153,3 +153,11 @@ def cluster_pipeline() -> FigureResult:
             "pipeline failed to hide behind kernels.",
         ],
     )
+
+
+#: Registry for the CI perf-trajectory lane (see repro.bench.harness).
+FIGURES = {
+    "cluster_shard_scaling": cluster_shard_scaling,
+    "cluster_cross_shard": cluster_cross_shard,
+    "cluster_pipeline": cluster_pipeline,
+}

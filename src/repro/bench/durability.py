@@ -171,3 +171,10 @@ def failover_recovery() -> FigureResult:
             "the shard's last durable state.",
         ],
     )
+
+
+#: Registry for the CI perf-trajectory lane (see repro.bench.harness).
+FIGURES = {
+    "durability_overhead": durability_overhead,
+    "failover_recovery": failover_recovery,
+}

@@ -15,9 +15,10 @@ workload sizes by 8 if you can spare the hours.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.engine import GPUTx
 from repro.core.txn import TransactionPool
@@ -49,6 +50,10 @@ class FigureResult:
     columns: List[str]
     rows: List[Sequence[Any]]
     notes: List[str] = field(default_factory=list)
+    #: Optional explicit (metric name, value) headline for the CI
+    #: perf-trajectory lane; when absent, :func:`headline_metric`
+    #: falls back to the best value of a known throughput column.
+    headline: Optional[Tuple[str, float]] = None
 
     def format_table(self) -> str:
         """Render as a markdown table with the notes below."""
@@ -136,3 +141,136 @@ def save_result(result: FigureResult, directory: str = "benchmarks/results") -> 
 def collect_all(figure_fns: Dict[str, Callable[[], FigureResult]]) -> List[FigureResult]:
     """Run a set of figure functions (used by the EXPERIMENTS generator)."""
     return [fn() for fn in figure_fns.values()]
+
+
+# ---------------------------------------------------------------------------
+# CI perf trajectory: headline metrics as machine-readable JSON.
+# ---------------------------------------------------------------------------
+#: Column names eligible as a figure's headline metric, in preference
+#: order. All are higher-is-better, so the regression gate
+#: (``scripts/bench_compare.py``) only needs one comparison direction;
+#: figures without any of these (byte-count tables, pure-latency
+#: series) simply have no headline and are not gated.
+HEADLINE_COLUMNS = (
+    "sustained_ktps",
+    "ktps",
+    "gpu_ktps",
+    "kset_ktps",
+    "bulk_ktps",
+    "base_ktps",
+    "wal_ktps",
+    "speedup",
+    "gputx_norm",
+)
+
+
+def headline_metric(result: FigureResult) -> Optional[Tuple[str, float]]:
+    """The figure's one-number summary for the perf-trajectory lane.
+
+    An explicit ``result.headline`` wins; otherwise the best (max)
+    value of the first :data:`HEADLINE_COLUMNS` column present.
+    """
+    if result.headline is not None:
+        name, value = result.headline
+        return name, float(value)
+    for column in HEADLINE_COLUMNS:
+        if column in result.columns:
+            values = [
+                float(v)
+                for v in result.column(column)
+                if isinstance(v, (int, float))
+            ]
+            if values:
+                return column, max(values)
+    return None
+
+
+def collect_headlines(
+    figure_fns: Dict[str, Callable[[], FigureResult]],
+) -> Dict[str, Dict[str, Any]]:
+    """Run figure functions; map figure id -> headline metric record."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for fn in figure_fns.values():
+        result = fn()
+        metric = headline_metric(result)
+        if metric is None:
+            continue
+        out[result.figure_id] = {"metric": metric[0], "value": metric[1]}
+    return out
+
+
+def write_bench_json(
+    headlines: Dict[str, Dict[str, Any]], path: str
+) -> str:
+    """Persist a ``BENCH_PR<k>.json`` perf-trajectory artifact."""
+    payload = {
+        "schema": 1,
+        "smoke": bool(os.environ.get("REPRO_BENCH_SMOKE")),
+        "scale": SCALE,
+        "figures": headlines,
+    }
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def trajectory_figures() -> Dict[str, Callable[[], FigureResult]]:
+    """Every zero-arg figure function the perf lane runs.
+
+    Imported lazily so ``repro.bench.harness`` stays importable
+    without dragging every workload module in.
+    """
+    from repro.bench import cluster as bench_cluster
+    from repro.bench import durability as bench_durability
+    from repro.bench import serving as bench_serving
+    from repro.bench.figures import ALL_FIGURES
+
+    fns: Dict[str, Callable[[], FigureResult]] = dict(ALL_FIGURES)
+    fns.update(bench_cluster.FIGURES)
+    fns.update(bench_durability.FIGURES)
+    fns.update(bench_serving.FIGURES)
+    return fns
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.bench.harness --out BENCH_PR3.json``.
+
+    Runs every figure function in smoke mode (tiny workloads; the
+    simulated-clock metrics are deterministic, so runner speed does
+    not leak into the numbers) and writes the headline-metric JSON
+    the CI perf-trajectory lane uploads and gates on.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Emit the perf-trajectory headline-metric JSON."
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_PR.json",
+        help="output path (CI names this BENCH_PR<k>.json)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run at full (non-smoke) workload sizes",
+    )
+    args = parser.parse_args(argv)
+    if args.full:
+        # A stale REPRO_BENCH_SMOKE from the shell would silently turn
+        # a "full" run into a 48x-shrunk one.
+        os.environ.pop("REPRO_BENCH_SMOKE", None)
+    else:
+        os.environ["REPRO_BENCH_SMOKE"] = "1"
+    headlines = collect_headlines(trajectory_figures())
+    path = write_bench_json(headlines, args.out)
+    print(f"wrote {len(headlines)} headline metrics to {path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI lane
+    raise SystemExit(main())

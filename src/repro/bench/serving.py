@@ -1,0 +1,278 @@
+"""Online-serving experiments (beyond the paper: the streaming front
+half the bulk model assumes away).
+
+Four series, in the style of the figure reproductions:
+
+* ``serving_offered_load`` -- sustained throughput and end-to-end p95
+  vs. offered load on TM1 Poisson arrivals: below capacity the server
+  tracks the offered rate at low latency; past saturation throughput
+  plateaus, the queue fills, and admission control starts shedding.
+* ``serving_latency_cdf`` -- the end-to-end latency distribution at
+  one load level, split into the queue/execution/transfer components
+  of the serve breakdown, against the SLO target.
+* ``serving_adaptive_vs_fixed`` -- the tentpole comparison: the
+  SLO-driven adaptive bulk former vs. fixed bulk sizes, per load
+  level. The adaptive former sizes each cut from the chooser-keyed
+  service model, so it lands between grid points a fixed size cannot
+  express and re-sizes across load levels.
+* ``serving_sharded`` -- the same ingest path over a sharded
+  :class:`~repro.cluster.runtime.ClusterTx` backend with per-shard
+  admission queues.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.bench.harness import FigureResult, scaled
+from repro.cluster.runtime import ClusterTx
+from repro.core.engine import GPUTx
+from repro.serve import (
+    AdaptiveBulkFormer,
+    AdmissionController,
+    FixedBulkFormer,
+    ServeReport,
+    ServeRuntime,
+    SLOConfig,
+)
+from repro.workloads import tm1
+from repro.workloads.base import (
+    TimedTxnSpec,
+    make_rng,
+    poisson_arrival_times,
+    timed_specs,
+)
+
+#: Workload sizes (pre-scale); kept modest so the simulator stays fast.
+_SERVE_SF = 2
+_SERVE_TXNS = 3_000
+_SHARDED_TXNS = 1_200
+#: Default SLO: 5 ms end-to-end p95 -- roughly the knee of the
+#: simulated engine's latency/throughput curve at these sizes.
+_SLO_P95_S = 0.005
+#: Offered loads (ktps) swept by the load figure (the last one is
+#: past what the bounded queue can absorb during the ramp, so
+#: admission shedding shows up).
+_LOADS_KTPS = (60.0, 140.0, 260.0, 1_000.0)
+#: Overload burst for the adaptive-vs-fixed comparison: far above any
+#: former's capacity, so bulk size determines the drain rate.
+_OVERLOAD_KTPS = 2_000.0
+_OVERLOAD_TXNS = 30_000
+#: Fixed-former grid the adaptive former competes against.
+_FIXED_SIZES = (64, 256, 1024)
+
+
+def _slo() -> SLOConfig:
+    return SLOConfig(target_p95_s=_SLO_P95_S, min_bulk=24, max_bulk=4096)
+
+
+def _serve_tm1(
+    arrivals: Iterable[TimedTxnSpec],
+    former,
+    *,
+    max_pending: int = 1 << 16,
+) -> ServeReport:
+    db = tm1.build_database(_SERVE_SF)
+    engine = GPUTx(db, procedures=tm1.PROCEDURES)
+    runtime = ServeRuntime(
+        engine,
+        former=former,
+        admission=AdmissionController(max_pending),
+    )
+    return runtime.run(arrivals)
+
+
+def _tm1_arrivals(n: int, rate_tps: float, seed: int) -> List[TimedTxnSpec]:
+    db = tm1.build_database(_SERVE_SF)
+    return tm1.generate_timed_transactions(
+        db, n, rate_tps=rate_tps, pattern="poisson", seed=seed
+    )
+
+
+def serving_offered_load() -> FigureResult:
+    """Sustained throughput and p95 latency vs. offered load."""
+    n = scaled(_SERVE_TXNS)
+    rows = []
+    for load_ktps in _LOADS_KTPS:
+        arrivals = _tm1_arrivals(n, load_ktps * 1e3, seed=21)
+        report = _serve_tm1(
+            arrivals, AdaptiveBulkFormer(_slo()), max_pending=2048
+        )
+        rows.append(
+            (
+                load_ktps,
+                report.sustained_ktps,
+                report.latency["queue"].p95 * 1e3,
+                report.latency["total"].p95 * 1e3,
+                report.mean_bulk,
+                report.admission.rejected,
+            )
+        )
+    return FigureResult(
+        figure_id="SERVE-1",
+        title="Online serving: sustained throughput vs. offered load "
+        "(TM1, Poisson arrivals, adaptive former)",
+        columns=["offered_ktps", "sustained_ktps", "queue_p95_ms",
+                 "p95_ms", "mean_bulk", "rejected"],
+        rows=rows,
+        notes=[
+            "Below capacity the server sustains the offered rate at "
+            "low latency; past saturation throughput plateaus and the "
+            "bounded queue sheds arrivals (backpressure).",
+            f"SLO target: p95 <= {_SLO_P95_S * 1e3:.1f} ms end-to-end.",
+        ],
+    )
+
+
+def serving_latency_cdf() -> FigureResult:
+    """End-to-end latency distribution at one load level, by component."""
+    n = scaled(_SERVE_TXNS)
+    arrivals = _tm1_arrivals(n, _LOADS_KTPS[1] * 1e3, seed=23)
+    report = _serve_tm1(arrivals, AdaptiveBulkFormer(_slo()))
+    rows = []
+    for label in ("mean", "p50", "p95", "p99", "max"):
+        rows.append(
+            (
+                label,
+                getattr(report.latency["queue"], label) * 1e3,
+                getattr(report.latency["execution"], label) * 1e3,
+                getattr(report.latency["transfer"], label) * 1e3,
+                getattr(report.latency["total"], label) * 1e3,
+            )
+        )
+    return FigureResult(
+        figure_id="SERVE-2",
+        title="Online serving: end-to-end latency breakdown "
+        f"(TM1 at {_LOADS_KTPS[1]:.0f} ktps offered)",
+        columns=["stat", "queue_ms", "execution_ms", "transfer_ms",
+                 "total_ms"],
+        rows=rows,
+        notes=[
+            "queue = admission to bulk start (the former's knob); "
+            "execution/transfer = the bulk-level device and "
+            "interconnect shares every transaction of a bulk pays "
+            "together.",
+            f"SLO target: p95 <= {_SLO_P95_S * 1e3:.1f} ms end-to-end.",
+        ],
+    )
+
+
+def serving_adaptive_vs_fixed() -> FigureResult:
+    """Adaptive former vs. fixed bulk sizes, per load level."""
+    slo = _slo()
+    rows = []
+    adaptive_best = 0.0
+    # Two regimes: a tracking load (under capacity for every former
+    # that meets the SLO) and an overload burst (arrivals far above
+    # any former's capacity), where bulk size directly sets the drain
+    # rate and the latency a bounded queue can promise.
+    levels = (
+        (_LOADS_KTPS[1], scaled(_SERVE_TXNS)),
+        (_OVERLOAD_KTPS, scaled(_OVERLOAD_TXNS)),
+    )
+    for load_ktps, n in levels:
+        arrivals = _tm1_arrivals(n, load_ktps * 1e3, seed=29)
+        formers = [
+            FixedBulkFormer(size, max_form_wait_s=slo.form_wait_s)
+            for size in _FIXED_SIZES
+        ] + [AdaptiveBulkFormer(slo)]
+        labels = [f"fixed-{size}" for size in _FIXED_SIZES] + ["adaptive"]
+        for label, former in zip(labels, formers):
+            report = _serve_tm1(arrivals, former)
+            met = report.met_slo(slo.target_p95_s)
+            if label == "adaptive":
+                adaptive_best = max(adaptive_best, report.sustained_ktps)
+            rows.append(
+                (
+                    load_ktps,
+                    label,
+                    report.sustained_ktps,
+                    report.latency["total"].p95 * 1e3,
+                    report.mean_bulk,
+                    met,
+                )
+            )
+    return FigureResult(
+        figure_id="SERVE-3",
+        title="Online serving: adaptive vs. fixed bulk former (TM1)",
+        columns=["offered_ktps", "former", "sustained_ktps", "p95_ms",
+                 "mean_bulk", "met_slo"],
+        rows=rows,
+        notes=[
+            "At the tracking load every SLO-feasible former sustains "
+            "the offered rate; the deadline guard makes large fixed "
+            "sizes behave alike there.",
+            "At the overload burst, bulk size sets the drain rate: "
+            "the adaptive former detects the queue-driven p95 breach, "
+            "ramps multiplicatively to the largest SLO-service-"
+            "compatible bulk, and sustains strictly higher throughput "
+            "at equal-or-lower p95 than the best fixed size -- "
+            "without a pre-tuned size.",
+        ],
+        headline=("adaptive_sustained_ktps", adaptive_best),
+    )
+
+
+def serving_sharded() -> FigureResult:
+    """The ingest path over a sharded ClusterTx backend."""
+    n = scaled(_SHARDED_TXNS)
+    slo = _slo()
+    rows = []
+    for n_shards in (1, 2, 4):
+        db = tm1.build_database(_SERVE_SF)
+        cluster = ClusterTx(
+            db, procedures=tm1.CLUSTER_PROCEDURES, n_shards=n_shards
+        )
+        specs = tm1.generate_cluster_transactions(
+            db,
+            n,
+            shard_of=cluster.router.shard_of_key,
+            cross_shard_fraction=0.05,
+            seed=31,
+        )
+        times = poisson_arrival_times(make_rng(33), len(specs), 40_000.0)
+        runtime = ServeRuntime(
+            cluster,
+            former=AdaptiveBulkFormer(slo),
+            admission=AdmissionController(
+                1 << 16,
+                max_pending_per_shard=1 << 14,
+                router=cluster.router,
+                registry=cluster.registry,
+            ),
+        )
+        report = runtime.run(timed_specs(specs, times))
+        rows.append(
+            (
+                n_shards,
+                report.executed,
+                report.sustained_ktps,
+                report.latency["total"].p95 * 1e3,
+                report.mean_bulk,
+            )
+        )
+    return FigureResult(
+        figure_id="SERVE-4",
+        title="Online serving: sharded ingest (TM1 + 5% cross-shard sync)",
+        columns=["shards", "txns", "sustained_ktps", "p95_ms", "mean_bulk"],
+        rows=rows,
+        notes=[
+            "Arrivals route through the ShardRouter at admission; "
+            "per-shard queues bound each device's backlog "
+            "independently. Timestamp order is preserved within and "
+            "across bulks (Definition 1).",
+            "Scaling is sublinear-to-inverted at serving bulk sizes: "
+            "per-shard sub-bulks underutilise each GPU and cross-"
+            "shard waves add barriers (CLUSTER-1/2's small-bulk "
+            "effect).",
+        ],
+    )
+
+
+#: Registry for the CI perf-trajectory lane (see repro.bench.harness).
+FIGURES = {
+    "serving_offered_load": serving_offered_load,
+    "serving_latency_cdf": serving_latency_cdf,
+    "serving_adaptive_vs_fixed": serving_adaptive_vs_fixed,
+    "serving_sharded": serving_sharded,
+}

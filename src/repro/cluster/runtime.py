@@ -90,6 +90,8 @@ class WaveReport:
     shards: Tuple[int, ...]
     #: Strategy each shard engine chose for its sub-bulk (parallel waves).
     strategies: Dict[int, str] = field(default_factory=dict)
+    #: Sub-bulk size per shard (parallel waves); sums to ``size``.
+    shard_sizes: Dict[int, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -138,6 +140,37 @@ class ClusterExecutionResult:
         if not self.shard_busy_s or self.seconds <= 0:
             return 0.0
         return sum(self.shard_busy_s) / (len(self.shard_busy_s) * self.seconds)
+
+    def strategies_used(self) -> Dict[str, int]:
+        """Transactions executed per strategy across all waves.
+
+        Parallel waves count each shard's actual sub-bulk size under
+        the strategy that shard chose; coordinator waves count under
+        the serial leader pass.
+        """
+        counts: Dict[str, int] = {}
+        for wave in self.waves:
+            if wave.kind == "coordinator":
+                counts["leader"] = counts.get("leader", 0) + wave.size
+            else:
+                for shard, name in wave.strategies.items():
+                    n = wave.shard_sizes.get(shard, 0)
+                    counts[name] = counts.get(name, 0) + n
+        return counts
+
+    @property
+    def strategy(self) -> str:
+        """Dominant strategy of the bulk (most transactions executed).
+
+        Gives cluster results the same feedback key single-engine
+        :class:`~repro.core.executor.ExecutionResult` carries, so the
+        online serve loop's per-strategy service model works unchanged
+        over either backend.
+        """
+        counts = self.strategies_used()
+        if not counts:
+            return "none"
+        return max(sorted(counts), key=lambda name: counts[name])
 
 
 class ClusterTx:
@@ -452,6 +485,7 @@ class ClusterTx:
             out.results.extend(result.results)
             out.shard_busy_s[shard] += result.seconds
             wave.strategies[shard] = result.strategy
+            wave.shard_sizes[shard] = len(txns)
             if result.seconds > wave.seconds:
                 wave.seconds = result.seconds
                 critical_breakdown = result.breakdown

@@ -22,7 +22,8 @@ a multiplier for latency hiding.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.core.profiler import BulkProfile
 from repro.gpu.spec import C1060, GPUSpec
@@ -59,3 +60,99 @@ def choose_strategy(
     if profile.cross_partition <= t.c_bar or profile.depth >= t.d_bar:
         return STRATEGY_PART
     return STRATEGY_TPL
+
+
+@dataclass
+class _StrategyModel:
+    """Decaying moments of (bulk size, bulk seconds) observations."""
+
+    n: int = 0
+    size: float = 0.0
+    seconds: float = 0.0
+    size_sq: float = 0.0
+    size_seconds: float = 0.0
+
+    def observe(self, size: int, seconds: float, alpha: float) -> None:
+        if self.n == 0:
+            self.size = float(size)
+            self.seconds = seconds
+            self.size_sq = float(size) ** 2
+            self.size_seconds = float(size) * seconds
+        else:
+            keep = 1.0 - alpha
+            self.size = keep * self.size + alpha * size
+            self.seconds = keep * self.seconds + alpha * seconds
+            self.size_sq = keep * self.size_sq + alpha * size * size
+            self.size_seconds = keep * self.size_seconds + alpha * size * seconds
+        self.n += 1
+
+    def fit(self) -> "tuple[float, float]":
+        """Least-squares (fixed_s, per_txn_s) over the decayed moments.
+
+        With effectively one observed size the variance degenerates;
+        fall back to a through-the-origin rate (no fixed cost), which
+        under-estimates small bulks but never divides by noise.
+        """
+        var = self.size_sq - self.size * self.size
+        if var > max(1.0, 0.01 * self.size * self.size):
+            slope = (self.size_seconds - self.size * self.seconds) / var
+            slope = max(slope, 0.0)
+            fixed = max(self.seconds - slope * self.size, 0.0)
+            return fixed, slope
+        if self.size > 0:
+            return 0.0, self.seconds / self.size
+        return 0.0, 0.0
+
+
+@dataclass
+class StrategyFeedback:
+    """Online per-strategy service-time model (closes the serve loop).
+
+    Algorithm 1 predicts *which* strategy wins; it says nothing about
+    *how long* the bulk will take, which is what an SLO-driven bulk
+    former needs. This accumulator learns an affine model
+    ``seconds(bulk) ~= fixed_s + per_txn_s * size`` per strategy from
+    the engine's observed wave times (exponentially decayed, so the
+    model tracks workload drift), and answers the former's question:
+    the largest bulk a strategy can execute within a time budget.
+    """
+
+    alpha: float = 0.3
+    _models: Dict[str, _StrategyModel] = field(default_factory=dict)
+
+    def observe(self, strategy: str, size: int, seconds: float) -> None:
+        """Record one executed bulk's (size, service seconds)."""
+        if size <= 0 or seconds < 0.0:
+            return
+        model = self._models.setdefault(strategy, _StrategyModel())
+        model.observe(size, seconds, self.alpha)
+
+    def observations(self, strategy: str) -> int:
+        model = self._models.get(strategy)
+        return model.n if model else 0
+
+    def predict_seconds(self, strategy: str, size: int) -> Optional[float]:
+        """Expected service seconds of a ``size``-transaction bulk."""
+        model = self._models.get(strategy)
+        if model is None or model.n == 0:
+            return None
+        fixed, per_txn = model.fit()
+        return fixed + per_txn * size
+
+    def size_for_budget(
+        self, strategy: str, budget_s: float, lo: int, hi: int
+    ) -> Optional[int]:
+        """Largest bulk size in ``[lo, hi]`` predicted to fit the budget.
+
+        Returns ``lo`` when even the smallest bulk overshoots (the
+        former still has to make progress), and ``None`` when no
+        observation of ``strategy`` exists yet.
+        """
+        model = self._models.get(strategy)
+        if model is None or model.n == 0:
+            return None
+        fixed, per_txn = model.fit()
+        if per_txn <= 0.0:
+            return hi
+        size = int((budget_s - fixed) / per_txn)
+        return max(lo, min(hi, size))

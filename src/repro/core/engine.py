@@ -19,6 +19,7 @@ Typical use::
 
 from __future__ import annotations
 
+import os
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -229,6 +230,7 @@ class GPUTx:
             options = _filter_options(chosen, options)
         executor = self.make_executor(chosen, **options)
         result = executor.execute(transactions)
+        _apply_perf_handicap(result)
         if profile_seconds:
             result.breakdown.add("profiling", profile_seconds)
         self.results.record_many(result.results)
@@ -306,6 +308,28 @@ def _empty_breakdown():
     from repro.gpu.costmodel import TimeBreakdown
 
     return TimeBreakdown()
+
+
+#: Perf-canary hook: ``REPRO_PERF_HANDICAP=<factor>`` multiplies the
+#: simulated execution phase of every bulk. The CI perf-trajectory
+#: lane uses it to prove the regression gate actually fires (a 2x
+#: handicap must turn ``scripts/bench_compare.py`` red); it must never
+#: be set in normal runs.
+PERF_HANDICAP_ENV = "REPRO_PERF_HANDICAP"
+
+
+def _apply_perf_handicap(result: ExecutionResult) -> None:
+    raw = os.environ.get(PERF_HANDICAP_ENV)
+    if not raw:
+        return
+    factor = float(raw)
+    if factor <= 1.0:
+        return
+    from repro.core.executor import PHASE_EXECUTION
+
+    exec_s = result.breakdown.phases.get(PHASE_EXECUTION, 0.0)
+    if exec_s > 0.0:
+        result.breakdown.add(PHASE_EXECUTION, exec_s * (factor - 1.0))
 
 
 #: Options each strategy's executor accepts (beyond the shared ones).

@@ -44,6 +44,18 @@ class BulkProfile:
         """Share of the bulk immediately executable without locks."""
         return self.w0 / self.size if self.size else 0.0
 
+    def predicted_strategy(self, thresholds=None) -> str:
+        """The strategy Algorithm 1 would choose for this profile.
+
+        Lets callers that profile *candidate* bulks (the online bulk
+        former sizing the next cut) consult the chooser without
+        constructing an engine. Imported lazily: the chooser module
+        depends on this one.
+        """
+        from repro.core.chooser import choose_strategy
+
+        return choose_strategy(self, thresholds)
+
 
 class BulkProfiler:
     """Computes :class:`BulkProfile` for candidate bulks."""

@@ -92,3 +92,8 @@ class ShardFailure(ClusterError):
 
 class DurabilityError(ReproError):
     """WAL/checkpoint/replica bookkeeping was used incorrectly."""
+
+
+class ServeError(ReproError):
+    """The online ingest runtime was misused (e.g. an arrival stream
+    whose submit times go backwards)."""

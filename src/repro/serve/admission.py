@@ -1,0 +1,139 @@
+"""Admission control: bounded queues and backpressure at the front door.
+
+The paper's engine assumes bulks arrive fully formed; a server facing
+an open arrival stream has to bound how much work it buffers, or a
+burst turns into unbounded queue growth and unbounded latency. The
+:class:`AdmissionController` enforces two limits as arrivals are
+offered:
+
+* a **global** cap on pending (admitted-but-unexecuted) transactions;
+* optionally a **per-shard** cap: arrivals are routed through the
+  cluster's :class:`~repro.cluster.router.ShardRouter` at admission
+  time, so one hot shard saturating its queue sheds its own load
+  instead of stalling the whole cluster (a cross-shard transaction
+  counts against every shard it touches).
+
+Rejected arrivals are dropped and counted -- the client-visible
+backpressure signal. Admitted arrivals are stamped into the backend's
+transaction pool immediately, in arrival order, so pool ids (the
+Definition-1 timestamps) agree with arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from repro.cluster.router import ShardRouter
+from repro.core.procedure import ProcedureRegistry
+from repro.core.txn import Transaction, TransactionPool
+from repro.errors import ConfigError
+from repro.serve.stream import Arrival
+
+
+@dataclass
+class AdmissionStats:
+    """Counters the server reports alongside latency percentiles."""
+
+    offered: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    rejected_by_shard: Dict[int, int] = field(default_factory=dict)
+    #: Deepest the global queue ever got (pending transactions).
+    high_water: int = 0
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+
+class AdmissionController:
+    """Bounded-queue gatekeeper between the stream and the pool."""
+
+    def __init__(
+        self,
+        max_pending: int = 8192,
+        *,
+        max_pending_per_shard: Optional[int] = None,
+        router: Optional[ShardRouter] = None,
+        registry: Optional[ProcedureRegistry] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ConfigError("max_pending must be >= 1")
+        if max_pending_per_shard is not None:
+            if max_pending_per_shard < 1:
+                raise ConfigError("max_pending_per_shard must be >= 1")
+            if router is None or registry is None:
+                raise ConfigError(
+                    "per-shard admission limits need a router and a "
+                    "procedure registry to route arrivals"
+                )
+        self.max_pending = max_pending
+        self.max_pending_per_shard = max_pending_per_shard
+        self.router = router
+        self.registry = registry
+        self.stats = AdmissionStats()
+        self._shard_depth: Dict[int, int] = {}
+        self._shards_of_txn: Dict[int, "frozenset[int]"] = {}
+
+    # ------------------------------------------------------------------
+    def _route(self, arrival: Arrival) -> "frozenset[int]":
+        assert self.router is not None and self.registry is not None
+        return self.router.shards_of(
+            self.registry.get(arrival.type_name), arrival.params
+        )
+
+    def offer(self, arrival: Arrival, pool: TransactionPool) -> bool:
+        """Admit ``arrival`` into ``pool``, or reject it (backpressure).
+
+        Admission is the only path into the pool while a server runs,
+        so ``len(pool)`` is the authoritative global queue depth --
+        including transactions a strategy deferred back (streaming
+        K-SET), which still occupy buffer space.
+        """
+        self.stats.offered += 1
+        if len(pool) >= self.max_pending:
+            self.stats.rejected += 1
+            return False
+        shards: Optional[frozenset] = None
+        if self.max_pending_per_shard is not None:
+            shards = self._route(arrival)
+            for shard in shards:
+                if (
+                    self._shard_depth.get(shard, 0)
+                    >= self.max_pending_per_shard
+                ):
+                    self.stats.rejected += 1
+                    by_shard = self.stats.rejected_by_shard
+                    by_shard[shard] = by_shard.get(shard, 0) + 1
+                    return False
+        txn = pool.submit(
+            arrival.type_name, arrival.params, arrival.submit_time
+        )
+        if shards is not None:
+            self._shards_of_txn[txn.txn_id] = shards
+            for shard in shards:
+                self._shard_depth[shard] = self._shard_depth.get(shard, 0) + 1
+        self.stats.admitted += 1
+        self.stats.high_water = max(self.stats.high_water, len(pool))
+        return True
+
+    def note_executed(self, transactions: Iterable[Transaction]) -> None:
+        """Release per-shard slots once transactions finish for good.
+
+        Called with the *executed* (not merely dequeued) transactions:
+        deferred/requeued ones keep their slots because they still sit
+        in the pool.
+        """
+        if self.max_pending_per_shard is None:
+            return
+        for txn in transactions:
+            shards = self._shards_of_txn.pop(txn.txn_id, None)
+            if not shards:
+                continue
+            for shard in shards:
+                depth = self._shard_depth.get(shard, 0)
+                self._shard_depth[shard] = max(0, depth - 1)
+
+    def shard_depth(self, shard: int) -> int:
+        return self._shard_depth.get(shard, 0)

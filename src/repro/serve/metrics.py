@@ -1,0 +1,137 @@
+"""End-to-end latency accounting for the online ingest runtime.
+
+Each executed transaction gets a :class:`TxnLatency`: when it arrived,
+when its bulk started, when the bulk finished, and how the bulk-level
+service time splits between device execution and interconnect
+transfer. The server aggregates these into a :class:`LatencySummary`
+-- percentiles per component (queue wait, execution, transfer, total)
+-- which is the "latency breakdown" the README documents: queue wait
+is the admission-to-bulk-start share (the bulk former's knob),
+execution and transfer are the engine-side shares every transaction of
+a bulk pays together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.gpu.costmodel import TimeBreakdown
+
+#: Breakdown phases that ride the interconnect rather than the device.
+TRANSFER_PHASES = frozenset(
+    {"transfer_in", "transfer_out", "wal_sync", "checkpoint", "sync"}
+)
+
+#: Component keys of the latency breakdown.
+QUEUE, EXECUTION, TRANSFER, TOTAL = "queue", "execution", "transfer", "total"
+
+
+@dataclass(frozen=True)
+class TxnLatency:
+    """One transaction's end-to-end timing through the server."""
+
+    txn_id: int
+    type_name: str
+    submit_s: float
+    start_s: float
+    finish_s: float
+    exec_s: float
+    transfer_s: float
+
+    @property
+    def queue_s(self) -> float:
+        """Admission to bulk start: the wait the former controls."""
+        return self.start_s - self.submit_s
+
+    @property
+    def total_s(self) -> float:
+        return self.finish_s - self.submit_s
+
+    def component(self, name: str) -> float:
+        if name == QUEUE:
+            return self.queue_s
+        if name == EXECUTION:
+            return self.exec_s
+        if name == TRANSFER:
+            return self.transfer_s
+        if name == TOTAL:
+            return self.total_s
+        raise KeyError(name)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100])."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass(frozen=True)
+class Percentiles:
+    """Summary of one latency component (seconds)."""
+
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Percentiles":
+        if not values:
+            return cls(0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            mean=sum(values) / len(values),
+            p50=percentile(values, 50.0),
+            p95=percentile(values, 95.0),
+            p99=percentile(values, 99.0),
+            max=max(values),
+        )
+
+
+@dataclass
+class LatencySummary:
+    """Per-component percentiles over every executed transaction."""
+
+    count: int
+    components: Dict[str, Percentiles] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, latencies: Sequence[TxnLatency]) -> "LatencySummary":
+        components = {
+            name: Percentiles.of([lat.component(name) for lat in latencies])
+            for name in (QUEUE, EXECUTION, TRANSFER, TOTAL)
+        }
+        return cls(count=len(latencies), components=components)
+
+    def __getitem__(self, name: str) -> Percentiles:
+        return self.components[name]
+
+    @property
+    def p95_total_s(self) -> float:
+        return self.components[TOTAL].p95 if self.components else 0.0
+
+
+def split_service(breakdown: TimeBreakdown) -> "tuple[float, float]":
+    """Split one bulk's service seconds into (execution, transfer).
+
+    "Execution" is every device-side phase (generation, kernels,
+    profiling, coordination); "transfer" is the interconnect share --
+    input/output copies plus durability traffic when enabled.
+    """
+    transfer = sum(
+        seconds
+        for phase, seconds in breakdown.phases.items()
+        if phase in TRANSFER_PHASES
+    )
+    return max(0.0, breakdown.total - transfer), transfer

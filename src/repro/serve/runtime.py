@@ -1,0 +1,305 @@
+"""ServeRuntime: the streaming front half of the bulk execution model.
+
+The paper hands the GPU fully formed bulks; this runtime builds them
+from an open-ended arrival stream under a latency SLO, closing the gap
+between ``simulate_arrivals``' fixed-interval replay and a server:
+
+* arrivals flow through an :class:`~repro.serve.admission.AdmissionController`
+  (bounded queues, per-shard backpressure under sharding) into the
+  backend's transaction pool -- in arrival order, so pool ids (the
+  Definition-1 timestamps) respect the stream;
+* a :class:`~repro.serve.controller.BulkFormer` decides each cut: when
+  the queue reaches its target size, when the oldest admitted
+  transaction has waited its budget, or when the stream runs dry
+  (shutdown drains the queue completely);
+* each bulk executes through the backend's ``execute_bulk`` -- a
+  single-device :class:`~repro.core.engine.GPUTx` or a sharded
+  :class:`~repro.cluster.runtime.ClusterTx`, whose wave machinery
+  keeps timestamp order within and across bulks;
+* observed wave times feed back into the former's size controller,
+  and every executed transaction gets an end-to-end
+  :class:`~repro.serve.metrics.TxnLatency` (queue wait + execution +
+  transfer), summarised as percentiles in the final report.
+
+The clock is simulated, like everything else in this reproduction:
+arrival times come from the stream, service times from the engine's
+cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.engine import validate_strategy_options
+from repro.core.txn import Transaction
+from repro.errors import ServeError
+from repro.gpu.costmodel import TimeBreakdown
+from repro.serve.admission import AdmissionController, AdmissionStats
+from repro.serve.controller import AdaptiveBulkFormer, BulkFormer
+from repro.serve.metrics import (
+    LatencySummary,
+    Percentiles,
+    TxnLatency,
+    split_service,
+)
+from repro.serve.stream import ArrivalLike, ArrivalStream
+
+
+@dataclass
+class BulkTrace:
+    """One executed bulk, as the server saw it."""
+
+    start_s: float
+    seconds: float
+    size: int
+    executed: int
+    target: int
+    strategy: str
+
+
+@dataclass
+class ServeReport:
+    """Outcome of serving one arrival stream to completion."""
+
+    former: str
+    executed: int = 0
+    committed: int = 0
+    aborted: int = 0
+    elapsed_s: float = 0.0
+    #: Simulated seconds the device(s) were busy executing bulks.
+    busy_s: float = 0.0
+    latency: LatencySummary = field(
+        default_factory=lambda: LatencySummary(count=0)
+    )
+    admission: AdmissionStats = field(default_factory=AdmissionStats)
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
+    bulks: List[BulkTrace] = field(default_factory=list)
+
+    @property
+    def sustained_tps(self) -> float:
+        """Executed transactions per second over the serving horizon
+        (first admitted arrival to last bulk finish) -- the open-system
+        view, so a former cannot look faster by starting late."""
+        if self.elapsed_s <= 0:
+            return 0.0
+        return self.executed / self.elapsed_s
+
+    @property
+    def sustained_ktps(self) -> float:
+        return self.sustained_tps / 1e3
+
+    @property
+    def p95_total_s(self) -> float:
+        return self.latency.p95_total_s
+
+    @property
+    def mean_bulk(self) -> float:
+        if not self.bulks:
+            return 0.0
+        return sum(b.size for b in self.bulks) / len(self.bulks)
+
+    def met_slo(self, target_p95_s: float) -> bool:
+        return self.latency.p95_total_s <= target_p95_s
+
+
+class ServeRuntime:
+    """Drives a bulk engine from an arrival stream under an SLO."""
+
+    def __init__(
+        self,
+        engine: Any,
+        *,
+        former: Optional[BulkFormer] = None,
+        admission: Optional[AdmissionController] = None,
+        strategy: str = "auto",
+        probe_composition: bool = False,
+        **options: Any,
+    ) -> None:
+        """``engine`` is any bulk backend exposing ``pool``,
+        ``registry`` and ``execute_bulk`` -- a ``GPUTx`` or a
+        ``ClusterTx``. ``probe_composition`` makes the adaptive former
+        profile the queue head before each cut and size against the
+        strategy Algorithm 1 predicts for it (slower, but reacts to
+        composition shifts before the bulk executes rather than
+        after)."""
+        validate_strategy_options(strategy, options)
+        self.engine = engine
+        self.former = former or AdaptiveBulkFormer()
+        self.admission = admission or AdmissionController()
+        self.strategy = strategy
+        self.options = options
+        self.probe_composition = probe_composition
+        self._profiler = getattr(engine, "profiler", None)
+        if self._profiler is None:
+            shards = getattr(engine, "shards", None)
+            if shards:
+                self._profiler = shards[0].profiler
+        self.thresholds = getattr(engine, "thresholds", None)
+        if self.thresholds is None:
+            shards = getattr(engine, "shards", None)
+            if shards:
+                self.thresholds = shards[0].thresholds
+
+    # ------------------------------------------------------------------
+    def _admit_until(self, stream: ArrivalStream, clock: float) -> None:
+        for arrival in stream.pop_until(clock):
+            self.admission.offer(arrival, self.engine.pool)
+
+    def _probe_strategy(self, target: int) -> Optional[str]:
+        """Predict the chooser's pick for the current queue head."""
+        if not self.probe_composition or self._profiler is None:
+            return None
+        head = self.engine.pool.peek(target)
+        if not head:
+            return None
+        profile = self._profiler.profile(head)
+        return profile.predicted_strategy(self.thresholds)
+
+    def run(self, arrivals: Iterable[ArrivalLike]) -> ServeReport:
+        """Serve the stream to completion and drain the queue."""
+        stream = ArrivalStream(arrivals)
+        pool = self.engine.pool
+        report = ServeReport(former=self.former.name)
+        latencies: List[TxnLatency] = []
+        clock = 0.0
+        gpu_free = 0.0
+        first_submit: Optional[float] = None
+        last_finish = 0.0
+        while True:
+            self._admit_until(stream, clock)
+            if len(pool) == 0:
+                if stream.exhausted:
+                    break
+                clock = max(clock, stream.peek_time())
+                continue
+            target = self.former.target_size()
+            if self.probe_composition:
+                probed = self._probe_strategy(target)
+                retarget = getattr(self.former, "retarget", None)
+                if probed is not None and retarget is not None:
+                    target = retarget(probed)
+            deadline = pool.peek(1)[0].submit_time + self.former.max_form_wait_s
+            if (
+                len(pool) < target
+                and not stream.exhausted
+                and stream.peek_time() <= deadline
+            ):
+                # The bulk is still filling and more arrivals fit the
+                # oldest transaction's wait budget: wait for them.
+                clock = max(clock, stream.peek_time())
+                continue
+            # Cut: the queue hit the target, the wait budget expired,
+            # or the stream ran dry (shutdown drain).
+            start = max(clock, gpu_free)
+            self._admit_until(stream, start)
+            batch = pool.take(target)
+            result = self.engine.execute_bulk(
+                batch, strategy=self.strategy, **dict(self.options)
+            )
+            finish = start + result.seconds
+            executed_ids = {r.txn_id for r in result.results}
+            if not executed_ids and finish <= start:
+                # The whole batch bounced back (deferred/halted) and
+                # no simulated time passed: nothing can change, so
+                # looping again would spin forever.
+                raise ServeError(
+                    "backend made no progress on a "
+                    f"{len(batch)}-transaction bulk"
+                )
+            self._record_bulk(
+                report, latencies, batch, result, start, finish, target,
+                executed_ids,
+            )
+            self.admission.note_executed(
+                [t for t in batch if t.txn_id in executed_ids]
+            )
+            if first_submit is None and batch:
+                first_submit = min(t.submit_time for t in batch)
+            last_finish = finish
+            gpu_free = finish
+            clock = finish
+        report.latency = LatencySummary.of(latencies)
+        report.admission = self.admission.stats
+        if first_submit is not None:
+            report.elapsed_s = max(last_finish - first_submit, 1e-12)
+        return report
+
+    # ------------------------------------------------------------------
+    def _record_bulk(
+        self,
+        report: ServeReport,
+        latencies: List[TxnLatency],
+        batch: List[Transaction],
+        result: Any,
+        start: float,
+        finish: float,
+        target: int,
+        executed_ids: "set[int]",
+    ) -> None:
+        exec_s, transfer_s = split_service(result.breakdown)
+        submit_of: Dict[int, Transaction] = {t.txn_id: t for t in batch}
+        bulk_latencies = [
+            TxnLatency(
+                txn_id=r.txn_id,
+                type_name=r.type_name,
+                submit_s=submit_of[r.txn_id].submit_time,
+                start_s=start,
+                finish_s=finish,
+                exec_s=exec_s,
+                transfer_s=transfer_s,
+            )
+            for r in result.results
+        ]
+        latencies.extend(bulk_latencies)
+        report.executed += len(result.results)
+        report.committed += sum(1 for r in result.results if r.committed)
+        report.aborted += sum(1 for r in result.results if not r.committed)
+        report.busy_s += result.seconds
+        for phase, seconds in result.breakdown.phases.items():
+            report.breakdown.add(phase, seconds)
+        strategy = getattr(result, "strategy", "unknown")
+        report.bulks.append(
+            BulkTrace(
+                start_s=start,
+                seconds=result.seconds,
+                size=len(batch),
+                executed=len(result.results),
+                target=target,
+                strategy=strategy,
+            )
+        )
+        # Close the loop: the bulk's observed service time updates the
+        # former's per-strategy model; its own p95 is the freshest
+        # latency signal available.
+        p95 = (
+            Percentiles.of([lat.total_s for lat in bulk_latencies]).p95
+            if bulk_latencies
+            else 0.0
+        )
+        self.former.observe(
+            size=len(batch),
+            strategy=strategy,
+            service_s=result.seconds,
+            p95_total_s=p95,
+        )
+
+
+def serve(
+    engine: Any,
+    arrivals: Iterable[ArrivalLike],
+    *,
+    former: Optional[BulkFormer] = None,
+    admission: Optional[AdmissionController] = None,
+    strategy: str = "auto",
+    **options: Any,
+) -> ServeReport:
+    """One-call convenience: build a runtime and serve the stream."""
+    runtime = ServeRuntime(
+        engine,
+        former=former,
+        admission=admission,
+        strategy=strategy,
+        **options,
+    )
+    return runtime.run(arrivals)

@@ -23,6 +23,9 @@ import numpy as np
 #: A submission-ready transaction: (type name, parameter tuple).
 TxnSpec = Tuple[str, tuple]
 
+#: A timed transaction: (type name, parameter tuple, submit time).
+TimedTxnSpec = Tuple[str, tuple, float]
+
 
 def make_rng(seed: int) -> np.random.Generator:
     """The single RNG entry point -- keeps workloads reproducible."""
@@ -111,6 +114,69 @@ def paired_items(
         pairs[i, 0] = a
         pairs[i, 1] = b
     return pairs
+
+
+# ---------------------------------------------------------------------------
+# Arrival-time generators (online serving workloads).
+# ---------------------------------------------------------------------------
+def uniform_arrival_times(
+    n: int, rate_tps: float, start: float = 0.0
+) -> np.ndarray:
+    """Deterministic arrivals: transaction ``i`` at ``start + i/rate``.
+
+    The arrival model of the paper's response-time experiments
+    (Figures 9, 15), exposed for the online ingest runtime.
+    """
+    if rate_tps <= 0:
+        raise ValueError("rate_tps must be positive")
+    return start + np.arange(n, dtype=np.float64) / rate_tps
+
+
+def poisson_arrival_times(
+    rng: np.random.Generator, n: int, rate_tps: float, start: float = 0.0
+) -> np.ndarray:
+    """Poisson process: exponential inter-arrival gaps at ``rate_tps``."""
+    if rate_tps <= 0:
+        raise ValueError("rate_tps must be positive")
+    gaps = rng.exponential(1.0 / rate_tps, size=n)
+    return start + np.cumsum(gaps)
+
+
+def bursty_arrival_times(
+    rng: np.random.Generator,
+    n: int,
+    rate_tps: float,
+    period_s: float,
+    duty: float = 0.25,
+    start: float = 0.0,
+) -> np.ndarray:
+    """On/off bursts: each period's arrivals land in its first
+    ``duty`` fraction, so the instantaneous rate is ``rate/duty``
+    during a burst and zero between bursts while the mean rate stays
+    ``rate_tps``. The stress case for a fixed bulk former: no single
+    size suits both the burst and the lull.
+    """
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    if not 0.0 < duty <= 1.0:
+        raise ValueError("duty must be within (0, 1]")
+    base = poisson_arrival_times(rng, n, rate_tps, start=0.0)
+    periods = np.floor(base / period_s)
+    phase = base - periods * period_s
+    return start + periods * period_s + phase * duty
+
+
+def timed_specs(
+    specs: Sequence[TxnSpec], times: np.ndarray
+) -> List[TimedTxnSpec]:
+    """Zip specs with nondecreasing arrival times into submit triples."""
+    if len(specs) != len(times):
+        raise ValueError(
+            f"{len(specs)} specs but {len(times)} arrival times"
+        )
+    return [
+        (name, params, float(t)) for (name, params), t in zip(specs, times)
+    ]
 
 
 def nurand(rng: np.random.Generator, a: int, x: int, y: int, c: int = 123) -> int:

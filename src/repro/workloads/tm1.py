@@ -40,11 +40,16 @@ from repro.gpu import ops as op_ir
 from repro.storage.catalog import Database
 from repro.storage.schema import ColumnDef, DataType, TableSchema
 from repro.workloads.base import (
+    TimedTxnSpec,
     TxnSpec,
+    bursty_arrival_times,
     choose_mix,
     make_rng,
     padded_number_string,
     paired_items,
+    poisson_arrival_times,
+    timed_specs,
+    uniform_arrival_times,
 )
 
 SUBSCRIBERS_PER_SF = 2_000
@@ -530,6 +535,44 @@ def generate_transactions(
         else:  # pragma: no cover - mix is validated by choose_mix
             raise ValueError(f"unknown TM1 type {name!r}")
     return out
+
+
+def generate_timed_transactions(
+    db: Database,
+    n: int,
+    *,
+    rate_tps: float,
+    pattern: str = "poisson",
+    period_s: float = 0.05,
+    duty: float = 0.25,
+    seed: int = 1,
+    mix: List[Tuple[str, float]] | None = None,
+) -> List[TimedTxnSpec]:
+    """A timed TM1 arrival stream for the online ingest runtime.
+
+    Draws the standard mix via :func:`generate_transactions`, then
+    stamps each transaction (including the split lookup halves) with
+    an arrival time: ``pattern`` is ``"uniform"`` (the paper's
+    response-time model), ``"poisson"`` (open-system arrivals), or
+    ``"bursty"`` (on/off periods of ``period_s`` at ``duty`` duty
+    cycle). Times are nondecreasing, as the serve runtime requires.
+    """
+    specs = generate_transactions(db, n, seed=seed, mix=mix)
+    rng = make_rng(seed + 7)
+    if pattern == "uniform":
+        times = uniform_arrival_times(len(specs), rate_tps)
+    elif pattern == "poisson":
+        times = poisson_arrival_times(rng, len(specs), rate_tps)
+    elif pattern == "bursty":
+        times = bursty_arrival_times(
+            rng, len(specs), rate_tps, period_s=period_s, duty=duty
+        )
+    else:
+        raise ValueError(
+            f"unknown arrival pattern {pattern!r}; "
+            "use 'uniform', 'poisson', or 'bursty'"
+        )
+    return timed_specs(specs, times)
 
 
 def generate_cluster_transactions(

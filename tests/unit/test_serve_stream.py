@@ -1,0 +1,118 @@
+"""Unit tests for arrival streams and the arrival-time generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.stream import Arrival, ArrivalStream
+from repro.workloads import tm1
+from repro.workloads.base import (
+    bursty_arrival_times,
+    make_rng,
+    poisson_arrival_times,
+    timed_specs,
+    uniform_arrival_times,
+)
+
+
+class TestArrivalStream:
+    def test_normalises_triples_and_preserves_order(self):
+        stream = ArrivalStream(
+            [("deposit", (1, 5), 0.0), ("audit", (2,), 0.5)]
+        )
+        first = stream.pop()
+        assert isinstance(first, Arrival)
+        assert first.type_name == "deposit"
+        assert first.params == (1, 5)
+        assert stream.peek_time() == 0.5
+        stream.pop()
+        assert stream.exhausted
+        assert stream.peek_time() == float("inf")
+
+    def test_pop_on_exhausted_raises(self):
+        stream = ArrivalStream([])
+        assert stream.exhausted
+        with pytest.raises(ServeError):
+            stream.pop()
+
+    def test_pop_until_consumes_by_time(self):
+        stream = ArrivalStream(
+            [("a", (), 0.1), ("b", (), 0.2), ("c", (), 0.9)]
+        )
+        batch = stream.pop_until(0.5)
+        assert [a.type_name for a in batch] == ["a", "b"]
+        assert stream.peek_time() == 0.9
+
+    def test_backwards_time_raises(self):
+        stream = ArrivalStream([("a", (), 1.0), ("b", (), 0.5)])
+        with pytest.raises(ServeError):
+            stream.pop()  # advancing past "a" validates "b"
+
+    def test_unbounded_generator_is_not_materialised(self):
+        def infinite():
+            t = 0.0
+            while True:
+                yield ("tick", (), t)
+                t += 1.0
+
+        stream = ArrivalStream(infinite())
+        assert stream.pop().submit_time == 0.0
+        assert stream.peek_time() == 1.0
+
+
+class TestArrivalTimes:
+    def test_uniform_matches_paper_model(self):
+        times = uniform_arrival_times(4, rate_tps=100.0)
+        assert np.allclose(times, [0.0, 0.01, 0.02, 0.03])
+        with pytest.raises(ValueError):
+            uniform_arrival_times(4, rate_tps=0.0)
+
+    def test_poisson_mean_rate_and_monotonicity(self):
+        times = poisson_arrival_times(make_rng(3), 4000, rate_tps=1000.0)
+        assert np.all(np.diff(times) >= 0)
+        # Mean inter-arrival gap ~ 1 ms at 1000 tps.
+        assert 0.8e-3 < np.mean(np.diff(times)) < 1.2e-3
+
+    def test_bursty_compresses_each_period(self):
+        period, duty = 0.1, 0.25
+        times = bursty_arrival_times(
+            make_rng(5), 2000, rate_tps=500.0, period_s=period, duty=duty
+        )
+        assert np.all(np.diff(times) >= 0)
+        phases = times % period
+        # Every arrival lands in the first `duty` of its period.
+        assert np.max(phases) <= period * duty + 1e-9
+        with pytest.raises(ValueError):
+            bursty_arrival_times(
+                make_rng(5), 10, rate_tps=500.0, period_s=period, duty=0.0
+            )
+
+    def test_timed_specs_zips_and_validates(self):
+        specs = [("a", (1,)), ("b", (2,))]
+        triples = timed_specs(specs, np.array([0.1, 0.2]))
+        assert triples == [("a", (1,), 0.1), ("b", (2,), 0.2)]
+        with pytest.raises(ValueError):
+            timed_specs(specs, np.array([0.1]))
+
+
+class TestTm1TimedGeneration:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return tm1.build_database(1)
+
+    @pytest.mark.parametrize("pattern", ["uniform", "poisson", "bursty"])
+    def test_patterns_produce_nondecreasing_triples(self, db, pattern):
+        triples = tm1.generate_timed_transactions(
+            db, 50, rate_tps=10_000.0, pattern=pattern, seed=9
+        )
+        assert len(triples) >= 50  # split lookup halves may add more
+        times = [t for _name, _params, t in triples]
+        assert times == sorted(times)
+        # The stream is consumable by the serve-side validator.
+        ArrivalStream(triples).pop_until(float("inf"))
+
+    def test_unknown_pattern_rejected(self, db):
+        with pytest.raises(ValueError):
+            tm1.generate_timed_transactions(
+                db, 10, rate_tps=1000.0, pattern="sawtooth"
+            )
