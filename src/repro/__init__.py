@@ -26,6 +26,7 @@ from repro.cluster.pipeline import (
 )
 from repro.cluster.router import HashShardRouter, RangeShardRouter, ShardRouter
 from repro.cluster.runtime import ClusterExecutionResult, ClusterTx
+from repro.core.backends import EngineOptions
 from repro.core.engine import ArrivalReport, GPUTx
 from repro.core.executor import ExecutionResult
 from repro.core.procedure import Access, ProcedureRegistry, TransactionType
@@ -79,6 +80,7 @@ __all__ = [
     "PipelineScheduler",
     "PipelinedRunReport",
     "run_pipelined",
+    "EngineOptions",
     "ExecutionResult",
     "Access",
     "ProcedureRegistry",

@@ -224,6 +224,7 @@ def trajectory_figures() -> Dict[str, Callable[[], FigureResult]]:
     Imported lazily so ``repro.bench.harness`` stays importable
     without dragging every workload module in.
     """
+    from repro.bench import backend as bench_backend
     from repro.bench import cluster as bench_cluster
     from repro.bench import durability as bench_durability
     from repro.bench import serving as bench_serving
@@ -233,6 +234,7 @@ def trajectory_figures() -> Dict[str, Callable[[], FigureResult]]:
     fns.update(bench_cluster.FIGURES)
     fns.update(bench_durability.FIGURES)
     fns.update(bench_serving.FIGURES)
+    fns.update(bench_backend.FIGURES)
     return fns
 
 

@@ -21,7 +21,7 @@ byte-identical to the failed shard's last durable state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.cluster.durability.checkpoint import Checkpoint, CheckpointManager

@@ -24,7 +24,7 @@ format and :func:`~repro.core.tx_logging.apply_redo` live in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, List, Sequence, Tuple
 
 from repro.core.tx_logging import (

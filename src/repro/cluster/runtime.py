@@ -47,6 +47,7 @@ from repro.cluster.durability.wal import (
 )
 from repro.cluster.partition import key_space_of, partition_database
 from repro.cluster.router import ShardRouter, make_router
+from repro.core.backends import EngineOptions
 from repro.core.chooser import ChooserThresholds
 from repro.core.engine import GPUTx, validate_strategy_options
 from repro.core.procedure import TransactionType
@@ -189,6 +190,7 @@ class ClusterTx:
         thresholds: Optional[ChooserThresholds] = None,
         sync_latency_s: Optional[float] = None,
         durability: Optional[DurabilityConfig] = None,
+        options: Optional[EngineOptions] = None,
     ) -> None:
         key_space = key_space_of(db) if router == "range" else None
         self.router = make_router(router, n_shards, key_space=key_space)
@@ -204,6 +206,7 @@ class ClusterTx:
                 block_size=block_size,
                 use_undo_logging=use_undo_logging,
                 thresholds=thresholds,
+                options=options,
             )
             for shard_db in shard_dbs
         ]

@@ -1,0 +1,27 @@
+"""Execution backends: interpreted vs. vectorized wave execution.
+
+See :mod:`repro.core.backends.base` for the registry and
+:class:`EngineOptions`, and ``docs/ARCHITECTURE.md`` for where
+backends sit in the layer map. Importing this package registers both
+built-in backends.
+"""
+
+from repro.core.backends.base import (  # noqa: F401
+    EngineOptions,
+    ExecutionBackend,
+    InterpretedBackend,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.core.backends.vectorized import VectorizedBackend  # noqa: F401
+
+__all__ = [
+    "EngineOptions",
+    "ExecutionBackend",
+    "InterpretedBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]

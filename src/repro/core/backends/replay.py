@@ -1,0 +1,461 @@
+"""Vectorized replay of the SIMT interpreter's cost accounting.
+
+Without lock ops, every live thread of a kernel advances exactly one
+micro-op per round in :class:`~repro.gpu.simt.SIMTEngine`. The
+kernel's simulated cost is therefore a pure function of the per-thread
+op traces: round ``r`` executes each thread's ``r``-th op, a warp's
+live threads group by ``(branch, kind)``, and each group's charges
+depend only on its kind, addresses, and sizes. This module evaluates
+that function over whole trace arrays at once and produces a
+:class:`~repro.gpu.costmodel.KernelStats` *identical* to stepping the
+interpreter -- the contract the vectorized backend's simulated-clock
+equivalence rests on (asserted field-by-field in the backend tests).
+
+It also computes the interpreter's *event order* -- rounds ascending,
+SMs in index order, warps in the scheduler's visit order (with its
+swap-removal of finished warps), divergent groups in first-occurrence
+order, lanes in warp order -- which fixes two things the trace alone
+does not: the physical order in which staged inserts append rows
+(physical state must be byte-identical across backends) and the
+device addresses of cells in tables whose row count moves mid-kernel
+(column offsets scale with ``n_rows``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.gpu import ops as op_ir
+from repro.gpu.costmodel import KernelStats
+from repro.gpu.simt import KernelReport, ThreadOutcome, warp_layout
+
+from repro.core.backends.wave import HANDLE_BASE, TraceRecorder, WaveStore
+
+#: Op kinds whose single-group issue charge is one plain instruction.
+_PLAIN_ISSUE_KINDS = (
+    op_ir.SET_BRANCH,
+    op_ir.ABORT,
+    op_ir.THREAD_FENCE,
+)
+
+
+def _pack_sort(*keys: np.ndarray) -> np.ndarray:
+    """``np.lexsort`` with the keys packed into one int64 argsort.
+
+    ``keys`` are given most-significant first (the reverse of
+    lexsort's convention). All keys must be non-negative except the
+    last-resort fallback handles anything. A single argsort over the
+    packed key is several times faster than lexsort's one argsort per
+    key, which matters in the replay hot path.
+    """
+    bits = []
+    for k in keys:
+        hi = int(k.max()) if len(k) else 0
+        lo = int(k.min()) if len(k) else 0
+        if lo < 0:
+            return np.lexsort(tuple(reversed(keys)))
+        bits.append(max(1, hi.bit_length()))
+    if sum(bits) > 62:
+        return np.lexsort(tuple(reversed(keys)))
+    packed = np.zeros(len(keys[0]), dtype=np.int64)
+    for k, b in zip(keys, bits):
+        packed = (packed << b) | k.astype(np.int64)
+    return np.argsort(packed, kind="stable")
+
+
+def replay_kernel(
+    recorder: TraceRecorder,
+    store: WaveStore,
+    engine: Any,
+    outcomes: List[ThreadOutcome],
+) -> KernelReport:
+    """Resolve a recorded wave into a KernelReport and apply the staged
+    mutations in interpreter event order."""
+    spec = engine.spec
+    cost = engine.cost
+    n_threads = recorder.n_threads
+    stats = KernelStats(num_sms=spec.num_sms)
+    stats.threads_launched = n_threads
+    stats.threads_aborted = sum(1 for o in outcomes if not o.committed)
+    stats.rounds = int(recorder.op_count.max()) if n_threads else 0
+
+    bounds, sm_warp_ids, resident = warp_layout(
+        n_threads, engine.block_size, spec
+    )
+    for sm in range(spec.num_sms):
+        stats.resident_warps[sm] = resident[sm]
+    warp_of = np.empty(n_threads, dtype=np.int64)
+    sm_of_warp = np.empty(len(bounds), dtype=np.int64)
+    for sm, ids in enumerate(sm_warp_ids):
+        for w in ids:
+            sm_of_warp[w] = sm
+    for w, (lo, hi) in enumerate(bounds):
+        warp_of[lo:hi] = w
+
+    # ---- flatten steps into event arrays ------------------------------
+    steps = recorder.steps
+    sizes = [len(s.lanes) for s in steps]
+    E = int(sum(sizes))
+    stats.ops_executed = E
+    offsets = np.zeros(len(steps) + 1, dtype=np.int64)
+    np.cumsum(sizes, out=offsets[1:])
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    # Per-step-constant fields flatten with one repeat each; per-lane
+    # fields with one concatenate each -- no per-step python slicing.
+    ev_thread = (
+        np.concatenate([s.lanes for s in steps])
+        if steps else np.zeros(0, dtype=np.int64)
+    )
+    ev_round = (
+        np.concatenate([s.opidx for s in steps]) + 1
+        if steps else np.zeros(0, dtype=np.int64)
+    )
+    ev_kind = np.repeat(
+        np.fromiter((s.kind for s in steps), np.int64, len(steps)), sizes_arr
+    )
+    ev_branch = np.concatenate(
+        [
+            s.branch
+            if isinstance(s.branch, np.ndarray)
+            else np.full(len(s.lanes), s.branch, dtype=np.int64)
+            for s in steps
+        ]
+    ) if steps else np.zeros(0, dtype=np.int64)
+    ev_amount = np.repeat(
+        np.fromiter((s.amount for s in steps), np.int64, len(steps)),
+        sizes_arr,
+    )
+    ev_width = np.repeat(
+        np.fromiter((s.width for s in steps), np.int64, len(steps)), sizes_arr
+    )
+    ev_step = np.repeat(np.arange(len(steps), dtype=np.int64), sizes_arr)
+    ev_addr = np.full(E, -1, dtype=np.int64)
+    ev_addr2 = np.full(E, -1, dtype=np.int64)
+    ev_payload = np.full(E, -1, dtype=np.int64)
+    deferred_steps: List[int] = []
+    for i, step in enumerate(steps):
+        if step.addr is not None:
+            lo, hi = offsets[i], offsets[i + 1]
+            if step.addr.ndim == 2:
+                ev_addr[lo:hi] = step.addr[:, 0]
+                ev_addr2[lo:hi] = step.addr[:, 1]
+            else:
+                ev_addr[lo:hi] = step.addr
+        elif step.deferred is not None:
+            deferred_steps.append(i)
+        if step.payload is not None:
+            lo, hi = offsets[i], offsets[i + 1]
+            ev_payload[lo:hi] = step.payload
+    ev_warp = warp_of[ev_thread]
+    ev_sm = sm_of_warp[ev_warp]
+
+    # ---- interpreter event order (mutations, moving addresses) --------
+    need_order = bool(
+        deferred_steps or store.pending_inserts or store.pending_deletes
+    )
+    if need_order:
+        _resolve_order_and_addresses(
+            recorder, store, bounds, sm_warp_ids, sm_of_warp,
+            ev_thread, ev_round, ev_kind, ev_branch, ev_warp,
+            ev_addr, ev_width, ev_payload, ev_step, offsets, deferred_steps,
+        )
+
+    # ---- group events exactly like _step_warp -------------------------
+    order = _pack_sort(ev_round, ev_warp, ev_branch + 1, ev_kind, ev_thread)
+    s_round = ev_round[order]
+    s_warp = ev_warp[order]
+    s_branch = ev_branch[order]
+    s_kind = ev_kind[order]
+    s_sm = ev_sm[order]
+    s_amount = ev_amount[order]
+    s_width = ev_width[order]
+    s_addr = ev_addr[order]
+    s_addr2 = ev_addr2[order]
+    s_step = ev_step[order]
+    fresh = np.ones(E, dtype=bool)
+    if E > 1:
+        fresh[1:] = (
+            (s_round[1:] != s_round[:-1])
+            | (s_warp[1:] != s_warp[:-1])
+            | (s_branch[1:] != s_branch[:-1])
+            | (s_kind[1:] != s_kind[:-1])
+        )
+    g_start = np.flatnonzero(fresh)
+    n_groups = len(g_start)
+    g_end = np.append(g_start[1:], E)
+    g_kind = s_kind[g_start]
+    g_sm = s_sm[g_start]
+    g_last = g_end - 1
+    group_of_event = np.cumsum(fresh) - 1
+
+    # Divergence: groups per (round, warp) beyond the first serialise.
+    wr_fresh = np.ones(n_groups, dtype=bool)
+    if n_groups > 1:
+        wr_fresh[1:] = (
+            (s_round[g_start][1:] != s_round[g_start][:-1])
+            | (s_warp[g_start][1:] != s_warp[g_start][:-1])
+        )
+    wr_sizes = np.diff(np.append(np.flatnonzero(wr_fresh), n_groups))
+    stats.divergent_serializations = int(np.sum(wr_sizes - 1))
+
+    issue = np.zeros(spec.num_sms, dtype=np.float64)
+    mem_tx = np.zeros(spec.num_sms, dtype=np.int64)
+    mem_instr = np.zeros(spec.num_sms, dtype=np.int64)
+    mem_bytes = np.zeros(spec.num_sms, dtype=np.int64)
+    atomic_cycles = np.zeros(spec.num_sms, dtype=np.float64)
+    seg = spec.memory_transaction_bytes
+    plain = cost.issue_plain()
+
+    def charge_coalesced(kinds: Tuple[int, ...], probe: bool) -> None:
+        g_mask = np.isin(g_kind, kinds)
+        gs = np.flatnonzero(g_mask)
+        if len(gs) == 0:
+            return
+        e_mask = np.isin(s_kind, kinds)
+        es = np.flatnonzero(e_mask)
+        # Dense sub-group ids for the selected events.
+        sub_of = np.full(n_groups, -1, dtype=np.int64)
+        sub_of[gs] = np.arange(len(gs))
+        sub_idx = sub_of[group_of_event[es]]
+        widths = s_width[g_last][gs][sub_idx]  # the group's *last* width
+        addrs = s_addr[es]
+        if probe:
+            addrs = np.concatenate([addrs, s_addr2[es]])
+            sub_idx = np.concatenate([sub_idx, sub_idx])
+            widths = np.concatenate([widths, widths])
+        ntx = cost.coalesce_groups(sub_idx, addrs, widths, len(gs))
+        sms = g_sm[gs]
+        np.add.at(mem_tx, sms, ntx)
+        np.add.at(mem_bytes, sms, ntx * seg)
+        np.add.at(mem_instr, sms, 1)
+        np.add.at(issue, sms, (2 * plain) if probe else plain)
+
+    charge_coalesced((op_ir.READ, op_ir.WRITE), probe=False)
+    charge_coalesced((op_ir.INDEX_PROBE,), probe=True)
+
+    # Compute / SFU: one issue charge per group, max amount of members.
+    for kind, fn in (
+        (op_ir.COMPUTE, cost.issue_compute),
+        (op_ir.SFU_COMPUTE, cost.issue_sfu),
+    ):
+        gs = np.flatnonzero(g_kind == kind)
+        if len(gs) == 0:
+            continue
+        amax = np.maximum.reduceat(s_amount, g_start)[gs]
+        for g, amount in zip(gs, amax):
+            issue[g_sm[g]] += fn(int(amount))
+
+    # Plain-issue-only kinds.
+    gs = np.flatnonzero(np.isin(g_kind, _PLAIN_ISSUE_KINDS))
+    np.add.at(issue, g_sm[gs], plain)
+
+    # Inserts and deletes: rare ops, small python loops over groups.
+    for g in np.flatnonzero(g_kind == op_ir.INSERT_ROW):
+        members = slice(g_start[g], g_end[g])
+        sm = int(g_sm[g])
+        per_table: Dict[str, int] = {}
+        for e in range(g_start[g], g_end[g]):
+            table = steps[s_step[e]].table
+            width = store.adapter.row_width(table)
+            ntx = (width + seg - 1) // seg
+            mem_tx[sm] += ntx
+            mem_bytes[sm] += ntx * seg
+            per_table[table] = per_table.get(table, 0) + 1
+        mem_instr[sm] += 1
+        issue[sm] += plain
+        for count in per_table.values():
+            if count > 1:
+                atomic_cycles[sm] += cost.atomic_serialization(count)
+                stats.atomic_conflicts += count - 1
+    for g in np.flatnonzero(g_kind == op_ir.DELETE_ROW):
+        size = int(g_end[g] - g_start[g])
+        sm = int(g_sm[g])
+        mem_tx[sm] += size
+        mem_bytes[sm] += size * seg
+        mem_instr[sm] += 1
+        issue[sm] += plain
+
+    # tolist() yields Python scalars, so downstream arithmetic (and
+    # report equality checks) see the same types as the interpreter.
+    stats.issue_cycles = issue.tolist()
+    stats.mem_transactions = mem_tx.tolist()
+    stats.mem_instructions = mem_instr.tolist()
+    stats.mem_bytes = mem_bytes.tolist()
+    stats.atomic_cycles = atomic_cycles.tolist()
+
+    timing = cost.resolve(stats)
+    return KernelReport(stats=stats, timing=timing, outcomes=outcomes)
+
+
+def _simulate_warp_visits(
+    op_count: np.ndarray,
+    bounds: List[Tuple[int, int]],
+    sm_warp_ids: List[List[int]],
+    rounds: int,
+) -> np.ndarray:
+    """Per-round warp visit ranks within each SM.
+
+    Reproduces the scheduler's swap-removal of finished warps: a warp
+    encountered with no live thread is replaced by the list's last
+    warp, permuting subsequent visit order. Returns a matrix
+    ``V[round, warp]`` (rounds 1-based; -1 = not visited).
+    """
+    n_warps = len(bounds)
+    warp_len = np.array(
+        [op_count[lo:hi].max() if hi > lo else 0 for lo, hi in bounds],
+        dtype=np.int64,
+    )
+    visits = np.full((rounds + 1, n_warps), -1, dtype=np.int64)
+    for ids in sm_warp_ids:
+        live = list(ids)
+        for r in range(1, rounds + 1):
+            rank = 0
+            w = 0
+            while w < len(live):
+                warp = live[w]
+                if warp_len[warp] < r:
+                    live[w] = live[-1]
+                    live.pop()
+                    continue
+                visits[r, warp] = rank
+                rank += 1
+                w += 1
+    return visits
+
+
+def _resolve_order_and_addresses(
+    recorder: TraceRecorder,
+    store: WaveStore,
+    bounds: List[Tuple[int, int]],
+    sm_warp_ids: List[List[int]],
+    sm_of_warp: np.ndarray,
+    ev_thread: np.ndarray,
+    ev_round: np.ndarray,
+    ev_kind: np.ndarray,
+    ev_branch: np.ndarray,
+    ev_warp: np.ndarray,
+    ev_addr: np.ndarray,
+    ev_width: np.ndarray,
+    ev_payload: np.ndarray,
+    ev_step: np.ndarray,
+    offsets: np.ndarray,
+    deferred_steps: List[int],
+) -> None:
+    """Compute the interpreter event order over the *order-sensitive
+    subset* of events -- staged inserts/deletes plus deferred-address
+    reads/writes -- then (a) apply the mutations in it and (b) resolve
+    the deferred device addresses against the row counts in effect at
+    each event.
+
+    Restricting the ordering to the subset is sound because every
+    divergence group that contains a subset event consists entirely of
+    subset events (insert/delete groups are homogeneous in kind; a
+    deferred step's whole lane set is deferred), so relative order
+    within the subset never depends on excluded events.
+    """
+    E = len(ev_thread)
+    sub_mask = (ev_kind == op_ir.INSERT_ROW) | (ev_kind == op_ir.DELETE_ROW)
+    if deferred_steps:
+        sub_mask |= np.isin(
+            ev_step, np.asarray(deferred_steps, dtype=np.int64)
+        )
+    sub = np.flatnonzero(sub_mask)
+    s_thread = ev_thread[sub]
+    s_round = ev_round[sub]
+    s_warp = ev_warp[sub]
+    s_kind = ev_kind[sub]
+    s_branch = ev_branch[sub]
+    S = len(sub)
+
+    rounds = int(recorder.op_count.max())
+    visits = _simulate_warp_visits(
+        recorder.op_count, bounds, sm_warp_ids, rounds
+    )
+    s_visit = visits[s_round, s_warp]
+    s_sm = sm_of_warp[s_warp]
+    # First-occurrence order of each (round, warp, branch, kind) group
+    # = the minimum member thread id (members iterate in warp order).
+    order_g = _pack_sort(s_round, s_warp, s_branch + 1, s_kind, s_thread)
+    fresh = np.ones(S, dtype=bool)
+    if S > 1:
+        fresh[1:] = (
+            (s_round[order_g][1:] != s_round[order_g][:-1])
+            | (s_warp[order_g][1:] != s_warp[order_g][:-1])
+            | (s_branch[order_g][1:] != s_branch[order_g][:-1])
+            | (s_kind[order_g][1:] != s_kind[order_g][:-1])
+        )
+    group_of_sorted = np.cumsum(fresh) - 1
+    g_min_thread = np.minimum.reduceat(
+        s_thread[order_g], np.flatnonzero(fresh)
+    ) if S else np.zeros(0, dtype=np.int64)
+    s_gfirst = np.empty(S, dtype=np.int64)
+    s_gfirst[order_g] = g_min_thread[group_of_sorted]
+    sub_order = _pack_sort(s_round, s_sm, s_visit, s_gfirst, s_thread)
+    #: Event index -> rank within the ordered subset (-1 elsewhere).
+    pos = np.full(E, -1, dtype=np.int64)
+    pos[sub[sub_order]] = np.arange(S)
+
+    # Apply staged mutations in event order; record handle -> row id.
+    handle_row: Dict[int, int] = {}
+    mut_events = np.flatnonzero(
+        (ev_kind == op_ir.INSERT_ROW) | (ev_kind == op_ir.DELETE_ROW)
+    )
+    mut_events = mut_events[np.argsort(pos[mut_events])]
+    # Inserts-before prefix per mutating table (by subset rank), for
+    # address resolution on tables whose row count moves mid-kernel.
+    inserts_before: Dict[str, np.ndarray] = {}
+    if deferred_steps:
+        is_insert = (ev_kind[sub] == op_ir.INSERT_ROW).astype(np.int64)
+        for table in store.mutating_tables:
+            table_mask = np.zeros(E, dtype=bool)
+            for i, step in enumerate(recorder.steps):
+                if step.kind == op_ir.INSERT_ROW and step.table == table:
+                    table_mask[offsets[i] : offsets[i + 1]] = True
+            ordered = (is_insert * table_mask[sub])[sub_order]
+            before = np.zeros(S, dtype=np.int64)
+            if S > 1:
+                np.cumsum(ordered[:-1], out=before[1:])
+            inserts_before[table] = before  # indexed by subset rank
+
+    adapter = store.adapter
+    base_rows = {
+        t: store.addressing(t).n_rows for t in store.mutating_tables
+    }
+    predicted: Dict[str, int] = dict(base_rows)
+    for e in mut_events:
+        if ev_kind[e] == op_ir.INSERT_ROW:
+            handle = int(ev_payload[e]) - HANDLE_BASE
+            table, _values = store.pending_inserts[handle]
+            handle_row[handle] = predicted[table]
+            predicted[table] += 1
+        # Deletes resolve their target after every handle is known.
+    for e in mut_events:
+        if ev_kind[e] == op_ir.INSERT_ROW:
+            handle = int(ev_payload[e]) - HANDLE_BASE
+            table, values = store.pending_inserts[handle]
+            row = adapter.insert(table, values)
+            if row != handle_row[handle]:  # pragma: no cover - invariant
+                raise RuntimeError(
+                    "vectorized insert order diverged from prediction"
+                )
+        else:
+            row_enc = int(ev_payload[e])
+            if row_enc >= HANDLE_BASE:
+                row_enc = handle_row[row_enc - HANDLE_BASE]
+            adapter.delete(recorder.steps[ev_step[e]].table, row_enc)
+
+    # Resolve deferred addresses with the per-event row counts.
+    for i in deferred_steps:
+        step = recorder.steps[i]
+        table, column, rows_enc = step.deferred
+        lo, hi = offsets[i], offsets[i + 1]
+        rows = rows_enc.astype(np.int64).copy()
+        handles = rows >= HANDLE_BASE
+        for j in np.flatnonzero(handles):
+            rows[j] = handle_row[int(rows_enc[j]) - HANDLE_BASE]
+        info = store.addressing(table)
+        n_at = base_rows[table] + inserts_before[table][pos[lo:hi]]
+        addr, _width = info.addresses(column, rows, n_rows=n_at)
+        ev_addr[lo:hi] = addr

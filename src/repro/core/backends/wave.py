@@ -1,0 +1,569 @@
+"""Batched wave execution: NumPy column kernels + exact op traces.
+
+A *vector kernel* (``TransactionType.vector_body``) executes every
+transaction of one type in a wave at once: gather the touched column
+values with fancy indexing, compute whole-array, and scatter the
+surviving lanes' writes back (aborted lanes are masked out -- the
+conflict-masked scatter). While doing so it records, through
+:class:`WaveContext`, the exact per-thread micro-op trace the
+interpreter would have produced: op kind, divergence branch, and
+memory addresses per lane per op. The cost replay
+(:mod:`repro.core.backends.replay`) turns that trace into a
+:class:`~repro.gpu.costmodel.KernelStats` identical to the SIMT
+interpreter's, which is what makes the two backends agree on the
+simulated clock to the last cycle.
+
+Kernel-authoring contract (checked where cheap, documented here):
+
+* the per-lane op sequence must match the stored procedure's generator
+  exactly -- same ops, same order, same data-dependent control flow;
+* only two-phase types (no abort after the first write) may be
+  vectorized -- the scatter mask equals the commit mask, so no undo
+  logging is needed;
+* a lane must not read a cell it wrote earlier in the same wave
+  (conflict-free waves make cross-lane reads of written cells
+  impossible; same-lane re-reads are a kernel-authoring error);
+* a lane may read and delete rows staged by a same-wave insert (the
+  overlay resolves them), but must not *write* such rows -- that would
+  need deferred scatters and raises instead;
+* inserts/deletes are staged in a :class:`WaveStore` overlay and
+  applied to the real store in interpreter event order by the replay,
+  so physical row ids are byte-identical to the interpreted backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gpu import ops as op_ir
+from repro.storage.catalog import Database, StoreAdapter, static_map_cost_base
+
+#: Encoded row ids at or above this value reference a pending insert
+#: (handle = encoded - HANDLE_BASE); real row ids stay below it.
+HANDLE_BASE = 1 << 44
+
+
+class _TableAddressing:
+    """Precomputed device-address arithmetic for one table."""
+
+    __slots__ = ("base", "n_rows", "columns")
+
+    def __init__(self, db: Database, table: str) -> None:
+        tbl = db.table(table)
+        self.base = db.table_base_address(table)
+        self.n_rows = tbl.n_rows
+        #: column -> (resident prefix weight, width). The column's
+        #: device offset is ``pre_w * max(n_rows, 1)`` -- the layout
+        #: contract of ColumnTable.column_device_offset.
+        self.columns: Dict[str, Tuple[int, int]] = {}
+        pre_w = 0
+        for col in tbl.schema.columns:
+            self.columns[col.name] = (pre_w, col.width)
+            if col.device_resident:
+                pre_w += col.width
+
+    def addresses(self, column: str, rows: np.ndarray, n_rows: Any = None):
+        """Vectorized ColumnTable.cell_address + table base."""
+        pre_w, width = self.columns[column]
+        n = self.n_rows if n_rows is None else n_rows
+        offset = pre_w * np.maximum(n, 1)
+        return self.base + offset + rows * width, width
+
+
+class WaveStore:
+    """Adapter view for vector kernels: bulk probes/gathers plus a
+    staging overlay for inserts and deletes.
+
+    Mutation staging exists for PART, where one kernel runs a whole
+    bulk and a partition's later transactions must observe its earlier
+    ones' inserts/deletes (K-SET waves are conflict-free, so the
+    overlay stays empty during probes there). The replay applies the
+    staged mutations to the real store in interpreter event order.
+    """
+
+    def __init__(
+        self, adapter: StoreAdapter, mutating_tables: FrozenSet[str]
+    ) -> None:
+        self.adapter = adapter
+        self.db = adapter.db
+        #: Tables that may gain rows this launch: reads of them resolve
+        #: device addresses late (n_rows moves mid-kernel).
+        self.mutating_tables = mutating_tables
+        self._addr: Dict[str, _TableAddressing] = {}
+        #: Staged inserts in staging order; handle = list index.
+        self.pending_inserts: List[Tuple[str, Tuple[Any, ...]]] = []
+        #: (table, row-or-handle-encoded) staged deletes.
+        self.pending_deletes: List[Tuple[str, int]] = []
+        # Probe overlays, populated lazily once a mutation is staged.
+        self._unique_add: Dict[str, Dict[Any, int]] = {}
+        self._unique_del: Dict[str, set] = {}
+        self._multi_add: Dict[str, Dict[Any, List[int]]] = {}
+        self._multi_del: Dict[str, Dict[Any, set]] = {}
+        self._dirty = False
+
+    # -- addressing ------------------------------------------------------
+    def addressing(self, table: str) -> _TableAddressing:
+        info = self._addr.get(table)
+        if info is None:
+            info = self._addr[table] = _TableAddressing(self.db, table)
+        return info
+
+    # -- probes ----------------------------------------------------------
+    def probe_unique(self, index: str, keys: Sequence[Any]) -> np.ndarray:
+        """Adapter.probe for a static map or unique index, batched.
+
+        Returns encoded rows: ``-1`` miss, real row id, or
+        ``HANDLE_BASE + handle`` for a staged insert's row.
+        """
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        static = self.db.static_maps.get(index)
+        if static is not None:
+            return np.fromiter(
+                (static.get(k, -1) for k in keys), np.int64, len(keys)
+            )
+        ix = self.db.index(index)
+        mapping = ix.mapping
+        if not self._dirty:
+            return np.fromiter(
+                (mapping.get(k, -1) for k in keys), np.int64, len(keys)
+            )
+        added = self._unique_add.get(index, {})
+        removed = self._unique_del.get(index, set())
+        out = np.empty(len(keys), np.int64)
+        for i, k in enumerate(keys):
+            if k in added:
+                out[i] = added[k]
+            elif k in removed:
+                out[i] = -1
+            else:
+                out[i] = mapping.get(k, -1)
+        return out
+
+    def probe_multi(self, index: str, keys: Sequence[Any]) -> List[List[int]]:
+        """MultiHashIndex.probe_all, batched, overlay-aware."""
+        ix = self.db.index(index)
+        mapping = ix.mapping
+        if not self._dirty:
+            return [list(mapping.get(k, ())) for k in keys]
+        added = self._multi_add.get(index, {})
+        removed = self._multi_del.get(index, {})
+        out = []
+        for k in keys:
+            rows = list(mapping.get(k, ()))
+            gone = removed.get(k)
+            if gone:
+                rows = [r for r in rows if r not in gone]
+            extra = added.get(k)
+            if extra:
+                # Staged rows materialise at the table tail, above every
+                # existing id, and in staging order -- exactly where the
+                # sorted multi-index would put them.
+                rows = rows + extra
+            out.append(rows)
+        return out
+
+    def probe_cost_addresses(self, index: str, keys: Sequence[Any]) -> np.ndarray:
+        """The two per-probe cost addresses, shape ``(len(keys), 2)``.
+
+        Batched form of the interpreter's per-probe
+        ``probe_cost_addresses``, built on the same formula owners
+        (:func:`repro.storage.catalog.static_map_cost_base`,
+        :meth:`~repro.storage.index.HashIndex.cost_address_base`).
+        """
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        if index in self.db.static_maps:
+            base = np.fromiter(
+                (static_map_cost_base(index, k) for k in keys),
+                np.int64,
+                len(keys),
+            )
+        else:
+            cost_base = self.db.index(index).cost_address_base
+            base = np.fromiter(
+                (cost_base(k) for k in keys), np.int64, len(keys)
+            )
+        return np.stack([base, base + 8], axis=1)
+
+    # -- gathers ---------------------------------------------------------
+    def gather(self, table: str, column: str, rows_enc: np.ndarray) -> np.ndarray:
+        """Bulk read, resolving staged-insert handles from the overlay."""
+        tbl = self.db.table(table)
+        handles = rows_enc >= HANDLE_BASE
+        if not handles.any():
+            return tbl.gather(column, rows_enc)
+        col_idx = tbl.schema.column_index(column)
+        safe = np.where(handles, 0, rows_enc)
+        out = tbl.gather(column, safe)
+        if out.dtype != object:
+            out = out.copy()
+        for i in np.flatnonzero(handles):
+            _, values = self.pending_inserts[int(rows_enc[i]) - HANDLE_BASE]
+            out[i] = values[col_idx]
+        return out
+
+    # -- mutation staging ------------------------------------------------
+    def stage_insert(self, table: str, values: Tuple[Any, ...]) -> int:
+        """Stage one insert; returns the encoded handle row."""
+        handle = len(self.pending_inserts)
+        self.pending_inserts.append((table, values))
+        enc = HANDLE_BASE + handle
+        self._dirty = True
+        tbl = self.db.table(table)
+        for ix in self.db.indexes_on(table):
+            key = Database._key_from_values(tbl.schema, ix.columns, values)
+            if ix.unique:
+                self._unique_add.setdefault(ix.name, {})[key] = enc
+                self._unique_del.get(ix.name, set()).discard(key)
+            else:
+                self._multi_add.setdefault(ix.name, {}).setdefault(
+                    key, []
+                ).append(enc)
+        return enc
+
+    def stage_delete(self, table: str, row_enc: int) -> None:
+        """Stage one delete of a real row or a staged insert's row."""
+        self.pending_deletes.append((table, row_enc))
+        self._dirty = True
+        tbl = self.db.table(table)
+        if row_enc >= HANDLE_BASE:
+            _, values = self.pending_inserts[row_enc - HANDLE_BASE]
+            key_of = lambda ix: Database._key_from_values(  # noqa: E731
+                tbl.schema, ix.columns, values
+            )
+        else:
+            key_of = lambda ix: Database._key_of(  # noqa: E731
+                tbl, ix.columns, row_enc
+            )
+        for ix in self.db.indexes_on(table):
+            key = key_of(ix)
+            if ix.unique:
+                added = self._unique_add.get(ix.name, {})
+                if added.get(key) == row_enc:
+                    del added[key]
+                else:
+                    self._unique_del.setdefault(ix.name, set()).add(key)
+            else:
+                extra = self._multi_add.get(ix.name, {}).get(key)
+                if extra and row_enc in extra:
+                    extra.remove(row_enc)
+                else:
+                    self._multi_del.setdefault(ix.name, {}).setdefault(
+                        key, set()
+                    ).add(row_enc)
+
+
+class Step:
+    """One recorded wave step: the same micro-op at one per-lane op
+    position, over a set of lanes (threads)."""
+
+    __slots__ = (
+        "kind",
+        "lanes",
+        "opidx",
+        "branch",
+        "amount",
+        "addr",
+        "width",
+        "deferred",
+        "table",
+        "payload",
+    )
+
+    def __init__(
+        self,
+        kind: int,
+        lanes: np.ndarray,
+        opidx: np.ndarray,
+        branch: Any,
+        *,
+        amount: int = 0,
+        addr: Optional[np.ndarray] = None,
+        width: int = 8,
+        deferred: Optional[Tuple[str, str, np.ndarray]] = None,
+        table: Optional[str] = None,
+        payload: Optional[np.ndarray] = None,
+    ) -> None:
+        self.kind = kind
+        self.lanes = lanes
+        self.opidx = opidx
+        #: Divergence branch per lane: scalar or per-lane array.
+        self.branch = branch
+        self.amount = amount
+        #: Resolved device addresses -- (L,) or (L, 2) for probes.
+        self.addr = addr
+        self.width = width
+        #: (table, column, encoded rows) for late address resolution on
+        #: tables whose row count moves mid-kernel.
+        self.deferred = deferred
+        self.table = table
+        #: Insert handles / delete encoded rows.
+        self.payload = payload
+
+
+class TraceRecorder:
+    """Accumulates the wave's steps and per-thread op counters."""
+
+    def __init__(self, n_threads: int) -> None:
+        self.n_threads = n_threads
+        self.op_count = np.zeros(n_threads, np.int64)
+        self.steps: List[Step] = []
+
+    def record(self, kind: int, lanes: np.ndarray, branch: Any, **kw: Any) -> None:
+        if kind not in op_ir.VECTORIZABLE_KINDS:
+            raise ValueError(
+                f"op kind {op_ir.KIND_NAMES.get(kind, kind)} has no "
+                "vectorized replay; the wave must fall back to the "
+                "interpreter"
+            )
+        if len(lanes) == 0:
+            return
+        opidx = self.op_count[lanes].copy()
+        self.op_count[lanes] += 1
+        self.steps.append(Step(kind, lanes, opidx, branch, **kw))
+
+
+class WaveContext:
+    """The vector kernel's view of one type's sub-wave.
+
+    ``lanes`` maps the kernel's local lane index to the launch-global
+    thread index. All ops apply to the currently *active* local lanes,
+    optionally narrowed by a ``mask``; returned arrays are full local
+    length with unspecified values at inactive lanes.
+    """
+
+    def __init__(
+        self,
+        recorder: TraceRecorder,
+        store: WaveStore,
+        lanes: np.ndarray,
+        type_id: int,
+        transactions: Sequence[Any],
+        *,
+        record_abort_ops: bool = True,
+    ) -> None:
+        self.recorder = recorder
+        self.store = store
+        self.lanes = lanes
+        self.type_id = type_id
+        self.txns = transactions
+        #: Parameter tuples, extracted once (param_* index into these).
+        self.params = [t.params for t in transactions]
+        self.n = len(transactions)
+        self.active = np.ones(self.n, dtype=bool)
+        self.committed = np.ones(self.n, dtype=bool)
+        self.abort_reason: List[str] = [""] * self.n
+        self.results: List[Any] = [None] * self.n
+        self.record_abort_ops = record_abort_ops
+
+    # -- parameters ------------------------------------------------------
+    def param_i64(self, i: int) -> np.ndarray:
+        return np.fromiter((p[i] for p in self.params), np.int64, self.n)
+
+    def param_obj(self, i: int) -> np.ndarray:
+        out = np.empty(self.n, dtype=object)
+        for j, p in enumerate(self.params):
+            out[j] = p[i]
+        return out
+
+    def param_bool(self, i: int) -> np.ndarray:
+        return np.fromiter((bool(p[i]) for p in self.params), bool, self.n)
+
+    # -- mask plumbing ---------------------------------------------------
+    def _mask(self, mask: Optional[np.ndarray]) -> np.ndarray:
+        return self.active if mask is None else (self.active & mask)
+
+    def _record(self, kind: int, m: np.ndarray, **kw: Any) -> None:
+        self.recorder.record(kind, self.lanes[m], self.type_id, **kw)
+
+    # -- ops -------------------------------------------------------------
+    def set_branch(self) -> None:
+        """The registry wrapper's leading ``SetBranch(type_id)`` op."""
+        self._record(op_ir.SET_BRANCH, self._mask(None))
+
+    def index_probe(
+        self, index: str, keys: Sequence[Any], mask: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Probe a unique index or static map; -1 encodes a miss."""
+        m = self._mask(mask)
+        if m.all():
+            keys_m: Sequence[Any] = keys
+            out = self.store.probe_unique(index, keys_m)
+        else:
+            idx = np.flatnonzero(m)
+            out = np.full(self.n, -1, dtype=np.int64)
+            if len(idx) == 0:
+                return out
+            keys_m = [keys[i] for i in idx]
+            out[m] = self.store.probe_unique(index, keys_m)
+        self._record(
+            op_ir.INDEX_PROBE,
+            m,
+            addr=self.store.probe_cost_addresses(index, keys_m),
+        )
+        return out
+
+    def index_probe_multi(
+        self, index: str, keys: Sequence[Any], mask: Optional[np.ndarray] = None
+    ) -> List[List[int]]:
+        """Probe a multi index; returns per-lane row lists."""
+        m = self._mask(mask)
+        idx = np.flatnonzero(m)
+        out: List[List[int]] = [[] for _ in range(self.n)]
+        if len(idx) == 0:
+            return out
+        keys_m = [keys[i] for i in idx]
+        for i, rows in zip(idx, self.store.probe_multi(index, keys_m)):
+            out[i] = rows
+        self._record(
+            op_ir.INDEX_PROBE,
+            m,
+            addr=self.store.probe_cost_addresses(index, keys_m),
+        )
+        return out
+
+    def read(
+        self,
+        table: str,
+        column: str,
+        rows: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        m = self._mask(mask)
+        if m.all():
+            out = self.store.gather(table, column, rows)
+            self._record_mem(op_ir.READ, m, table, column, rows)
+            return out
+        idx = np.flatnonzero(m)
+        if len(idx) == 0:
+            return np.zeros(self.n)
+        rows_m = rows[idx]
+        values = self.store.gather(table, column, rows_m)
+        if values.dtype == object:
+            out = np.empty(self.n, dtype=object)
+        else:
+            out = np.zeros(self.n, dtype=values.dtype)
+        out[m] = values
+        self._record_mem(op_ir.READ, m, table, column, rows_m)
+        return out
+
+    def write(
+        self,
+        table: str,
+        column: str,
+        rows: np.ndarray,
+        values: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> None:
+        """The conflict-masked scatter: only surviving lanes write."""
+        m = self._mask(mask)
+        idx = np.flatnonzero(m)
+        if len(idx) == 0:
+            return
+        rows_m = np.asarray(rows)[idx]
+        if rows_m.max() >= HANDLE_BASE:
+            # Writing a row staged by a same-wave insert would need
+            # deferred scatters; no workload does it, so fail loudly
+            # instead of corrupting the store (see module docstring).
+            raise ValueError(
+                "vector kernels cannot write rows inserted in the same "
+                "wave; split the type or leave it to the interpreter"
+            )
+        values_m = np.asarray(values)[idx]
+        self.store.adapter.scatter_bulk(table, column, rows_m, values_m)
+        self._record_mem(op_ir.WRITE, m, table, column, rows_m)
+
+    def _record_mem(
+        self, kind: int, m: np.ndarray, table: str, column: str,
+        rows_m: np.ndarray,
+    ) -> None:
+        info = self.store.addressing(table)
+        if table in self.store.mutating_tables:
+            _, width = info.columns[column]
+            self._record(
+                kind, m, width=width, deferred=(table, column, rows_m)
+            )
+        else:
+            addr, width = info.addresses(column, rows_m)
+            self._record(kind, m, addr=addr, width=width)
+
+    def compute(self, amount: int, mask: Optional[np.ndarray] = None) -> None:
+        self._record(op_ir.COMPUTE, self._mask(mask), amount=amount)
+
+    def sfu(self, amount: int, mask: Optional[np.ndarray] = None) -> None:
+        self._record(op_ir.SFU_COMPUTE, self._mask(mask), amount=amount)
+
+    def insert(
+        self,
+        table: str,
+        values_rows: Sequence[Optional[Tuple[Any, ...]]],
+        mask: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Stage one insert per masked lane; returns encoded handles."""
+        m = self._mask(mask)
+        idx = np.flatnonzero(m)
+        out = np.full(self.n, -1, dtype=np.int64)
+        if len(idx) == 0:
+            return out
+        handles = np.empty(len(idx), dtype=np.int64)
+        for j, i in enumerate(idx):
+            handles[j] = self.store.stage_insert(table, values_rows[i])
+        out[m] = handles
+        self._record(op_ir.INSERT_ROW, m, table=table, payload=handles)
+        return out
+
+    def delete(
+        self,
+        table: str,
+        rows: np.ndarray,
+        mask: Optional[np.ndarray] = None,
+    ) -> None:
+        m = self._mask(mask)
+        idx = np.flatnonzero(m)
+        if len(idx) == 0:
+            return
+        rows_m = np.asarray(rows)[idx].astype(np.int64)
+        for r in rows_m:
+            self.store.stage_delete(table, int(r))
+        self._record(op_ir.DELETE_ROW, m, table=table, payload=rows_m)
+
+    # -- control flow ----------------------------------------------------
+    def abort_where(self, cond: np.ndarray, reason: str) -> None:
+        """Abort the active lanes where ``cond`` holds."""
+        m = self.active & cond
+        if not m.any():
+            return
+        if self.record_abort_ops:
+            self._record(op_ir.ABORT, m)
+        self.committed &= ~m
+        for i in np.flatnonzero(m):
+            self.abort_reason[i] = reason
+        self.active &= ~m
+
+    def finish_where(self, mask: np.ndarray, values: Any) -> None:
+        """Lanes in ``mask`` return ``values`` (per-lane sequence or a
+        shared scalar) and leave the kernel."""
+        m = self.active & mask
+        if not m.any():
+            return
+        if np.isscalar(values) or values is None:
+            for i in np.flatnonzero(m):
+                self.results[i] = values
+        else:
+            for i in np.flatnonzero(m):
+                self.results[i] = values[i]
+        self.active &= ~m
+
+    def finish(self, values: Any = None) -> None:
+        """All still-active lanes return."""
+        self.finish_where(self.active.copy(), values)
+
+    def close(self) -> None:
+        """Kernel epilogue sanity check: every lane ended or aborted."""
+        if self.active.any():  # pragma: no cover - kernel-author error
+            raise RuntimeError(
+                "vector kernel left lanes neither finished nor aborted"
+            )

@@ -20,11 +20,13 @@ Typical use::
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.core.chooser import ChooserThresholds, choose_strategy
+from repro.core.backends import EngineOptions, create_backend
+from repro.core.chooser import ChooserThresholds, StrategyFeedback, choose_strategy
 from repro.core.executor import ExecutionResult, StrategyExecutor
 from repro.core.profiler import BulkProfile, BulkProfiler
 from repro.core.procedure import ProcedureRegistry, TransactionType
@@ -89,6 +91,7 @@ class GPUTx:
         block_size: int = 256,
         use_undo_logging: bool = True,
         thresholds: Optional[ChooserThresholds] = None,
+        options: Optional[EngineOptions] = None,
     ) -> None:
         self.db = db
         self.spec = spec
@@ -104,6 +107,18 @@ class GPUTx:
         self.profiler = BulkProfiler(self.registry, self.primitives)
         self.thresholds = thresholds or ChooserThresholds.for_spec(spec)
         self.use_undo_logging = use_undo_logging
+        self.options = options or EngineOptions()
+        #: The execution backend every K-SET/PART kernel launch of this
+        #: engine routes through (repro.core.backends).
+        self.backend = create_backend(self.options)
+        #: Per-(strategy, backend) wall-clock service model: the host
+        #: cost of executing bulks, fed by execute_bulk. The simulated
+        #: clock is backend-independent; this model is what shows the
+        #: vectorized backend's wall-clock win to the serving layer.
+        self.wall_feedback = StrategyFeedback()
+        #: Dropped-option warnings already issued by THIS engine
+        #: (dedup is per engine, not per process -- see _filter_options).
+        self._warned_options: Set[Tuple[str, Tuple[str, ...]]] = set()
         self._initialized = False
 
     # ------------------------------------------------------------------
@@ -146,6 +161,7 @@ class GPUTx:
             block_size=self.engine.block_size,
             use_undo_logging=self.use_undo_logging,
             thresholds=self.thresholds,
+            options=self.options,
         )
 
     # ------------------------------------------------------------------
@@ -177,6 +193,7 @@ class GPUTx:
             primitives=self.primitives,
             pcie=self.pcie,
             use_undo_logging=self.use_undo_logging,
+            backend=self.backend,
             **options,
         )
 
@@ -227,9 +244,36 @@ class GPUTx:
             profile = self.profiler.profile(transactions)
             chosen = choose_strategy(profile, self.thresholds)
             profile_seconds = profile.gen_seconds
-            options = _filter_options(chosen, options)
+            options = _filter_options(chosen, options, self._warned_options)
         executor = self.make_executor(chosen, **options)
+        vec_before = getattr(self.backend, "waves_vectorized", 0)
+        interp_before = getattr(self.backend, "waves_interpreted", 0)
+        wall_start = time.perf_counter()
         result = executor.execute(transactions)
+        result.wall_seconds = time.perf_counter() - wall_start
+        # Label the bulk with the backend that *actually* ran its waves
+        # (the vectorized backend falls back per wave), so the
+        # per-backend wall-clock model never files interpreter times
+        # under the vectorized curve.
+        if executor.uses_backend:
+            vec = getattr(self.backend, "waves_vectorized", 0) - vec_before
+            interp = (
+                getattr(self.backend, "waves_interpreted", 0) - interp_before
+            )
+            if vec and not interp:
+                result.backend = "vectorized"
+            elif vec:
+                result.backend = "mixed"
+            else:
+                result.backend = "interpreted"
+        else:
+            result.backend = "interpreted"
+        self.wall_feedback.observe(
+            chosen,
+            len(result.results),
+            result.wall_seconds,
+            backend=result.backend,
+        )
         _apply_perf_handicap(result)
         if profile_seconds:
             result.breakdown.add("profiling", profile_seconds)
@@ -375,21 +419,41 @@ def validate_strategy_options(strategy: str, options: Dict[str, Any]) -> None:
         )
 
 
-def _filter_options(strategy: str, options: Dict[str, Any]) -> Dict[str, Any]:
+def _filter_options(
+    strategy: str,
+    options: Dict[str, Any],
+    warned: Optional[Set[Tuple[str, Tuple[str, ...]]]] = None,
+) -> Dict[str, Any]:
     """Keep only the options the chosen strategy's executor accepts.
 
     Under ``strategy="auto"`` the caller cannot know which executor
     Algorithm 1 will pick, so passing an option another strategy owns
     is legitimate -- it is *dropped with a warning*. Unknown names
-    were already rejected by :func:`validate_auto_options`.
+    were already rejected by :func:`validate_strategy_options`.
+
+    Warning dedup is **per engine**, via the caller-owned ``warned``
+    set: each engine warns once per (strategy, dropped-set). Relying
+    on Python's default once-per-location warning memo instead would
+    let the first engine in a process swallow every later engine's
+    first warning, so the warning is emitted through
+    ``warnings.warn_explicit`` with a fresh registry -- bypassing only
+    the per-location memo while still honouring the process's warning
+    *filters* (``-W error``, ``filterwarnings`` configs, ...).
     """
     allowed = _STRATEGY_OPTIONS[strategy]
     dropped = set(options) - allowed
     if dropped:
-        warnings.warn(
-            f"option(s) {sorted(dropped)} are not used by the chosen "
-            f"strategy {strategy!r} and were dropped",
-            UserWarning,
-            stacklevel=3,
-        )
+        key = (strategy, tuple(sorted(dropped)))
+        if warned is None or key not in warned:
+            if warned is not None:
+                warned.add(key)
+            warnings.warn_explicit(
+                f"option(s) {sorted(dropped)} are not used by the chosen "
+                f"strategy {strategy!r} and were dropped",
+                UserWarning,
+                filename=__file__,
+                lineno=0,
+                module=__name__,
+                registry={},
+            )
     return {k: v for k, v in options.items() if k in allowed}

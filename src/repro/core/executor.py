@@ -17,7 +17,7 @@ The base class also centralises what happens *after* a kernel:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.procedure import ProcedureRegistry
 from repro.core.txn import Transaction, TxnResult
@@ -27,6 +27,9 @@ from repro.gpu.simt import KernelReport, SIMTEngine, ThreadOutcome, ThreadTask
 from repro.gpu.spec import GPUSpec
 from repro.gpu.transfer import PCIeModel
 from repro.storage.catalog import StoreAdapter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.backends import ExecutionBackend
 
 #: Phase names used in breakdowns (Figures 5, 12, 17).
 PHASE_GENERATION = "generation"
@@ -49,6 +52,14 @@ class ExecutionResult:
     #: Transactions not executed this bulk (streaming K-SET leaves
     #: blocked work in the pool for later bulks, Section 5.3).
     deferred: List["Transaction"] = field(default_factory=list)
+    #: Execution backend that actually ran this bulk's kernel waves:
+    #: "interpreted", "vectorized", or "mixed" when the vectorized
+    #: backend fell back for some waves. The simulated figures are
+    #: backend-independent by construction, only wall-clock differs.
+    backend: str = "interpreted"
+    #: Host wall-clock seconds spent executing the bulk (set by the
+    #: engine facade; 0.0 when the executor was driven directly).
+    wall_seconds: float = 0.0
 
     @property
     def seconds(self) -> float:
@@ -78,6 +89,11 @@ class StrategyExecutor:
     """Base class: strategy-independent plumbing."""
 
     name = "base"
+    #: Whether this strategy routes kernel launches through the
+    #: configured execution backend. Lock-based and serial strategies
+    #: (TPL, ad-hoc) keep this False: only the interpreter models spin
+    #: locks and single-core execution.
+    uses_backend = False
 
     def __init__(
         self,
@@ -88,13 +104,22 @@ class StrategyExecutor:
         primitives: Optional[PrimitiveLibrary] = None,
         pcie: Optional[PCIeModel] = None,
         use_undo_logging: bool = True,
+        backend: Optional["ExecutionBackend"] = None,
     ) -> None:
+        from repro.core.backends import InterpretedBackend
+
         self.registry = registry
         self.adapter = adapter
         self.engine = engine
         self.primitives = primitives or PrimitiveLibrary(engine.spec)
         self.pcie = pcie or PCIeModel(engine.spec)
         self.use_undo_logging = use_undo_logging
+        #: How waves execute on the host (see repro.core.backends).
+        #: K-SET and PART route their kernel launches through it; the
+        #: lock-based and serial strategies (TPL, ad-hoc) always use
+        #: the interpreter, which is the only path that models spin
+        #: locks and serial-core semantics.
+        self.backend = backend or InterpretedBackend()
 
     # ------------------------------------------------------------------
     # To be provided by strategies.
@@ -119,12 +144,12 @@ class StrategyExecutor:
 
     def input_transfer_seconds(self, transactions: Sequence[Transaction]) -> float:
         """Copy the bulk's signatures host -> device."""
-        nbytes = sum(t.signature_bytes() for t in transactions)
+        nbytes = sum(map(Transaction.signature_bytes, transactions))
         return self.pcie.to_device(nbytes, component="input")
 
     def output_transfer_seconds(self, results: Sequence[TxnResult]) -> float:
         """Copy the bulk's results device -> host."""
-        nbytes = sum(r.result_bytes() for r in results)
+        nbytes = sum(map(TxnResult.result_bytes, results))
         return self.pcie.to_host(nbytes, component="output")
 
     def rollback_outcome(self, outcome: ThreadOutcome) -> None:
@@ -148,17 +173,18 @@ class StrategyExecutor:
         """Roll back aborts, apply the insert/delete batch, build results."""
         by_id: Dict[int, Transaction] = {t.txn_id: t for t in transactions}
         results: List[TxnResult] = []
+        append = results.append
         for outcome in report.outcomes:
             txn = by_id[outcome.txn_id]
-            if not outcome.committed and rollback_aborted:
+            if not outcome.committed and rollback_aborted and outcome.undo:
                 self.rollback_outcome(outcome)
-            results.append(
+            append(
                 TxnResult(
-                    txn_id=outcome.txn_id,
-                    type_name=txn.type_name,
-                    committed=outcome.committed,
-                    abort_reason=outcome.abort_reason,
-                    value=outcome.result,
+                    outcome.txn_id,
+                    txn.type_name,
+                    outcome.committed,
+                    outcome.abort_reason,
+                    outcome.result,
                 )
             )
         self.adapter.apply_batch()

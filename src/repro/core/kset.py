@@ -38,7 +38,7 @@ Figures 5 and 17.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -55,6 +55,13 @@ def merge_accesses(
     txns: List[int] = []
     writes: List[bool] = []
     for txn_id, accesses in transactions:
+        if len(accesses) == 1:
+            # OLTP fast path: one basic operation needs no merge dict.
+            acc = accesses[0]
+            items.append(acc.item)
+            txns.append(txn_id)
+            writes.append(acc.write)
+            continue
         merged: Dict[int, bool] = {}
         for acc in accesses:
             merged[acc.item] = merged.get(acc.item, False) or acc.write
@@ -196,23 +203,41 @@ class IncrementalKSetExtractor:
     A transaction is in the current 0-set iff, in every item group it
     touches, its entry either comes first or is a read preceded only by
     reads.
+
+    Internally the merged entries live as columnar ``(item, txn,
+    write)`` arrays sorted by ``(item, txn)`` -- literally the paper's
+    "sorted array" -- so each round's scan is whole-array numpy work
+    instead of per-entry Python; peeled transactions are removed with
+    one boolean mask, which preserves the sort. ``add`` only appends;
+    the sort is (re)established lazily at the next scan.
     """
 
     def __init__(self, lib: PrimitiveLibrary | None = None) -> None:
         self._lib = lib or PrimitiveLibrary()
-        #: item -> list of [txn, write], ts-ordered.
-        self._groups: Dict[int, List[Tuple[int, bool]]] = {}
-        #: txn -> list of its (item) keys.
-        self._txn_items: Dict[int, Dict[int, bool]] = {}
+        #: Merged entries, sorted by (item, txn) once ``_merged`` ran.
+        self._items = np.zeros(0, dtype=np.int64)
+        self._txns = np.zeros(0, dtype=np.int64)
+        self._writes = np.zeros(0, dtype=bool)
+        #: Entries appended since the last merge (unsorted).
+        self._new_items: List[int] = []
+        self._new_txns: List[int] = []
+        self._new_writes: List[bool] = []
+        #: Item -> dense id (items need only be hashable; dense ids
+        #: keep the sorted array numeric).
+        self._item_ids: Dict[Any, int] = {}
+        self._txn_ids: set = set()
         self._last_ts: int = -1
+        #: Raw (pre-merge) basic-operation count, for callers charging
+        #: map passes over the unmerged ops.
+        self.raw_ops = 0
         self.gen_seconds = 0.0
 
     def __len__(self) -> int:
-        return len(self._txn_items)
+        return len(self._txn_ids)
 
     @property
     def pending(self) -> List[int]:
-        return sorted(self._txn_items)
+        return sorted(self._txn_ids)
 
     def add(self, txn_id: int, accesses: Sequence[Access]) -> None:
         """Merge one transaction's ops into the sorted groups."""
@@ -222,31 +247,70 @@ class IncrementalKSetExtractor:
                 f"({txn_id} after {self._last_ts})"
             )
         self._last_ts = txn_id
-        merged: Dict[int, bool] = {}
-        for acc in accesses:
-            merged[acc.item] = merged.get(acc.item, False) or acc.write
-        self._txn_items[txn_id] = merged
-        for item, wrote in merged.items():
-            self._groups.setdefault(item, []).append((txn_id, wrote))
+        self._txn_ids.add(txn_id)
+        self.raw_ops += len(accesses)
+        item_ids = self._item_ids
+        if len(accesses) == 1:
+            acc = accesses[0]
+            dense = item_ids.setdefault(acc.item, len(item_ids))
+            self._new_items.append(dense)
+            self._new_txns.append(txn_id)
+            self._new_writes.append(acc.write)
+        else:
+            merged: Dict[Any, bool] = {}
+            for acc in accesses:
+                merged[acc.item] = merged.get(acc.item, False) or acc.write
+            for item, wrote in merged.items():
+                self._new_items.append(item_ids.setdefault(item, len(item_ids)))
+                self._new_txns.append(txn_id)
+                self._new_writes.append(wrote)
         # The merge of a whole batch into the sorted array is one GPU
         # pass charged by the caller (KsetExecutor) -- charging per
         # transaction would bill one kernel launch per add.
 
+    def _merged(self) -> None:
+        if not self._new_items:
+            return
+        items = np.concatenate(
+            [self._items, np.asarray(self._new_items, dtype=np.int64)]
+        )
+        txns = np.concatenate(
+            [self._txns, np.asarray(self._new_txns, dtype=np.int64)]
+        )
+        writes = np.concatenate(
+            [self._writes, np.asarray(self._new_writes, dtype=bool)]
+        )
+        order = np.lexsort((txns, items))
+        self._items, self._txns, self._writes = (
+            items[order], txns[order], writes[order]
+        )
+        self._new_items, self._new_txns, self._new_writes = [], [], []
+
+    @property
+    def merged_entry_count(self) -> int:
+        """Number of merged (item, txn) entries in the sorted array."""
+        self._merged()
+        return len(self._items)
+
     def zero_set(self) -> List[int]:
         """Transactions with no preceding conflicting transaction."""
+        self._merged()
+        n = len(self._items)
         blocked: set = set()
-        for entries in self._groups.values():
-            seen_write = False
-            for position, (txn_id, wrote) in enumerate(entries):
-                if position == 0:
-                    seen_write = wrote
-                    continue
-                if seen_write or wrote:
-                    blocked.add(txn_id)
-                seen_write = seen_write or wrote
-        result = sorted(t for t in self._txn_items if t not in blocked)
-        total_entries = sum(len(e) for e in self._groups.values())
-        self.gen_seconds += self._lib.map_cost(max(1, total_entries))
+        if n:
+            first = np.empty(n, dtype=bool)
+            first[0] = True
+            np.not_equal(self._items[1:], self._items[:-1], out=first[1:])
+            writes = self._writes.astype(np.int64)
+            excl = np.cumsum(writes) - writes
+            group_first = np.maximum.accumulate(
+                np.where(first, np.arange(n), 0)
+            )
+            writes_before = excl - excl[group_first]
+            blocked_mask = ~first & ((writes_before > 0) | self._writes)
+            blocked = set(np.unique(self._txns[blocked_mask]).tolist())
+        result = sorted(self._txn_ids - blocked)
+        self.gen_seconds += self._lib.map_cost(max(1, n))
         return result
 
     def pop_zero_set(self) -> List[int]:
@@ -254,13 +318,9 @@ class IncrementalKSetExtractor:
         zero = self.zero_set()
         if not zero:
             return zero
-        gone = set(zero)
-        for item in list(self._groups):
-            entries = [e for e in self._groups[item] if e[0] not in gone]
-            if entries:
-                self._groups[item] = entries
-            else:
-                del self._groups[item]
-        for txn_id in zero:
-            del self._txn_items[txn_id]
+        keep = ~np.isin(self._txns, np.asarray(zero, dtype=np.int64))
+        self._items = self._items[keep]
+        self._txns = self._txns[keep]
+        self._writes = self._writes[keep]
+        self._txn_ids -= set(zero)
         return zero

@@ -15,6 +15,7 @@ from repro.gpu.ops import (  # noqa: F401
     INDEX_PROBE,
     INSERT_ROW,
     KIND_NAMES,
+    VECTORIZABLE_KINDS,
     LOCK_ACQUIRE,
     LOCK_RELEASE,
     READ,
@@ -42,7 +43,8 @@ from repro.gpu.ops import (  # noqa: F401
 
 __all__ = [
     "ABORT", "ATOMIC_ADD", "ATOMIC_CAS", "COMPUTE", "DELETE_ROW",
-    "INDEX_PROBE", "INSERT_ROW", "KIND_NAMES", "LOCK_ACQUIRE",
+    "INDEX_PROBE", "INSERT_ROW", "KIND_NAMES", "VECTORIZABLE_KINDS",
+    "LOCK_ACQUIRE",
     "LOCK_RELEASE", "READ", "SET_BRANCH", "SFU_COMPUTE", "THREAD_FENCE",
     "WRITE", "Abort", "AtomicAdd", "AtomicCAS", "Compute", "DeleteRow",
     "IndexProbe", "InsertRow", "LockAcquire", "LockRelease", "Op",

@@ -70,6 +70,19 @@ class TransactionType:
     #: types may conflict -- the "domain-specific rules on detecting
     #: whether two transactions are conflicting" a DBA supplies (App. E).
     conflict_classes: FrozenSet[str] = frozenset()
+    #: Optional batched form of ``body`` for the vectorized execution
+    #: backend: a callable taking a
+    #: :class:`~repro.core.backends.wave.WaveContext` that executes a
+    #: whole same-type wave as NumPy column kernels while recording
+    #: the interpreter-equivalent op trace. ``None`` means waves
+    #: containing this type fall back to the interpreter. See
+    #: docs/ARCHITECTURE.md ("Execution backends") for the authoring
+    #: contract.
+    vector_body: Optional[Callable[..., None]] = None
+    #: Tables ``vector_body`` may insert rows into -- the vectorized
+    #: backend resolves device addresses on these tables lazily, since
+    #: their row count (and hence column offsets) moves mid-kernel.
+    vector_inserts: FrozenSet[str] = frozenset()
 
     def accesses(self, params: Tuple[Any, ...]) -> List[Access]:
         return self.access_fn(params)

@@ -33,7 +33,7 @@ from repro.core.executor import (
     ExecutionResult,
     StrategyExecutor,
 )
-from repro.core.kset import IncrementalKSetExtractor, merge_accesses
+from repro.core.kset import IncrementalKSetExtractor
 from repro.core.txn import Transaction, TxnResult
 from repro.gpu.costmodel import TimeBreakdown
 
@@ -42,6 +42,7 @@ class KsetExecutor(StrategyExecutor):
     """Iterative 0-set execution without locks."""
 
     name = "kset"
+    uses_backend = True
     #: With the timestamp constraint, merging a fresh bulk into the
     #: sorted groups costs a sort (Figure 5's dominant share); the
     #: relaxed variant (Appendix G) groups by counters instead.
@@ -67,26 +68,29 @@ class KsetExecutor(StrategyExecutor):
 
         # ---- bulk generation: merge ops into sorted groups -------------
         by_id: Dict[int, Transaction] = {t.txn_id: t for t in transactions}
-        access_lists = [
-            (t.txn_id, self.registry.get(t.type_name).accesses(t.params))
-            for t in transactions
-        ]
-        if self.timestamp_constrained:
-            items, _txns, _writes = merge_accesses(access_lists)
-            breakdown.add(
-                PHASE_GENERATION, self.primitives.sort_cost(max(1, len(items)))
-            )
-        else:
-            n_ops = sum(len(a) for _t, a in access_lists)
-            breakdown.add(
-                PHASE_GENERATION,
-                self.primitives.map_cost(max(1, n_ops))
-                + self.primitives.scan_cost(max(1, len(transactions))),
-            )
         extractor = IncrementalKSetExtractor(self.primitives)
         gen_before = extractor.gen_seconds
-        for txn_id, accesses in access_lists:
-            extractor.add(txn_id, accesses)
+        registry_get = self.registry.get
+        for txn in transactions:
+            extractor.add(
+                txn.txn_id, registry_get(txn.type_name).accesses(txn.params)
+            )
+        if self.timestamp_constrained:
+            # The sort merges the bulk's (merged) entries into the
+            # sorted item groups -- the same count merge_accesses
+            # would produce, read off the extractor's sorted array.
+            breakdown.add(
+                PHASE_GENERATION,
+                self.primitives.sort_cost(
+                    max(1, extractor.merged_entry_count)
+                ),
+            )
+        else:
+            breakdown.add(
+                PHASE_GENERATION,
+                self.primitives.map_cost(max(1, extractor.raw_ops))
+                + self.primitives.scan_cost(max(1, len(transactions))),
+            )
 
         # ---- iterate 0-sets ---------------------------------------------
         all_results: List[TxnResult] = []
@@ -103,8 +107,11 @@ class KsetExecutor(StrategyExecutor):
             if self.grouping_passes > 0:
                 round_txns, group_cost = self._group_by_type(round_txns)
                 breakdown.add(PHASE_GENERATION, group_cost)
-            tasks = [self.build_task(t) for t in round_txns]
-            report = self.engine.launch(tasks, self.adapter)
+            # The wave executes through the configured backend: the
+            # interpreter steps one generator per thread; the
+            # vectorized backend runs the whole 0-set as batched
+            # column kernels with an identical simulated cost.
+            report = self.backend.launch_wave(self, round_txns)
             reports.append(report)
             breakdown.add(PHASE_EXECUTION, report.seconds)
             all_results.extend(self.finalize_kernel(round_txns, report))

@@ -53,6 +53,7 @@ class PartExecutor(StrategyExecutor):
     """Partitioned single-threaded execution (pull model)."""
 
     name = "part"
+    uses_backend = True
     #: When True, bulk generation sorts P by partition id (the paper's
     #: default). The relaxed variant (Appendix G) groups with atomic
     #: counters + prefix sum instead, skipping the sort.
@@ -120,14 +121,16 @@ class PartExecutor(StrategyExecutor):
 
         # ---- build one thread per non-empty partition ------------------
         grouped: Dict[int, List[Transaction]] = {}
-        for idx in order:
-            grouped.setdefault(int(coarse[idx]), []).append(transactions[idx])
+        coarse_list = coarse.tolist()
+        for idx in order.tolist():
+            grouped.setdefault(coarse_list[idx], []).append(transactions[idx])
         boundary_cycles = 8 * max(1, math.ceil(math.log2(max(2, len(transactions)))))
-        tasks = [
-            self._partition_task(pid, txns, boundary_cycles)
-            for pid, txns in sorted(grouped.items())
-        ]
-        report = self.engine.launch(tasks, self.adapter)
+        # The partition schedule executes through the configured
+        # backend: one interpreted generator per partition thread, or
+        # the vectorized backend's slot-parallel column kernels.
+        report = self.backend.launch_partitions(
+            self, sorted(grouped.items()), boundary_cycles
+        )
         breakdown.add(PHASE_EXECUTION, report.seconds)
 
         # ---- per-transaction outcomes ----------------------------------
@@ -143,7 +146,7 @@ class PartExecutor(StrategyExecutor):
         )
 
     # ------------------------------------------------------------------
-    def _partition_task(
+    def partition_task(
         self, pid: int, txns: List[Transaction], boundary_cycles: int
     ) -> ThreadTask:
         """One GPU thread running a partition's transactions serially."""
@@ -215,21 +218,23 @@ class PartExecutor(StrategyExecutor):
 
     def _collect(self, transactions, report):
         """Flatten per-partition outcome lists into per-txn results."""
-        type_by_id = {t.txn_id: t.type_name for t in transactions}
         per_txn: Dict[int, Tuple[bool, str, Any]] = {}
         cancels = {"inserts": [], "deletes": []}
         for outcome in report.outcomes:
             for txn_id, committed, reason, value, ins, dels in outcome.result:
                 per_txn[txn_id] = (committed, reason, value)
-                cancels["inserts"].extend(ins)
-                cancels["deletes"].extend(dels)
+                if ins:
+                    cancels["inserts"].extend(ins)
+                if dels:
+                    cancels["deletes"].extend(dels)
         results: List[TxnResult] = []
+        append = results.append
         for txn in transactions:
             committed, reason, value = per_txn[txn.txn_id]
-            results.append(
+            append(
                 TxnResult(
                     txn_id=txn.txn_id,
-                    type_name=type_by_id[txn.txn_id],
+                    type_name=txn.type_name,
                     committed=committed,
                     abort_reason=reason,
                     value=value,

@@ -53,6 +53,12 @@ class TplExecutor(StrategyExecutor):
     """Two-phase locking with deterministic counter locks."""
 
     name = "tpl"
+    #: TPL never routes through the execution-backend registry: spin
+    #: iterations, lock-word atomics, and reader-run countdowns are
+    #: contention effects that emerge from the lockstep interpreter's
+    #: round-by-round scheduling -- there is no closed trace form for
+    #: the vectorized replay to evaluate (see repro.core.backends).
+    uses_backend = False
 
     def __init__(self, *args, grouping_passes: int = 0, **kwargs) -> None:
         super().__init__(*args, **kwargs)

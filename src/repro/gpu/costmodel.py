@@ -158,6 +158,48 @@ class GpuCostModel:
                 segments.add(last)
         return len(segments)
 
+    def coalesce_groups(
+        self,
+        group_idx: "np.ndarray",
+        addresses: "np.ndarray",
+        widths: "np.ndarray",
+        n_groups: int,
+    ) -> "np.ndarray":
+        """Array form of :meth:`coalesce` for many warp-group accesses.
+
+        ``group_idx`` assigns each address to a dense group id in
+        ``[0, n_groups)``; ``widths`` is the per-address effective
+        width (one warp-group access applies a single width to all its
+        lanes, so callers broadcast the group's width). Returns the
+        per-group transaction count, bit-identical to calling
+        :meth:`coalesce` per group -- the vectorized execution
+        backend's replay depends on that equivalence.
+        """
+        import numpy as np
+
+        seg = self.spec.memory_transaction_bytes
+        first = addresses // seg
+        last = (addresses + np.maximum(widths, 1) - 1) // seg
+        gids = np.concatenate([group_idx, group_idx])
+        segs = np.concatenate([first, last])
+        # Sort (group, segment) pairs -- packed into one int64 when the
+        # value ranges allow (segments are bounded by the pretend
+        # address space), falling back to a two-key lexsort otherwise.
+        seg_bits = max(1, int(segs.max()).bit_length()) if len(segs) else 1
+        grp_bits = max(1, int(n_groups).bit_length())
+        if segs.min() >= 0 and seg_bits + grp_bits <= 62:
+            packed = np.sort((gids.astype(np.int64) << seg_bits) | segs)
+            fresh = np.ones(len(packed), dtype=bool)
+            if len(packed) > 1:
+                fresh[1:] = packed[1:] != packed[:-1]
+            return np.bincount(packed[fresh] >> seg_bits, minlength=n_groups)
+        order = np.lexsort((segs, gids))
+        g, s = gids[order], segs[order]
+        fresh = np.ones(len(g), dtype=bool)
+        if len(g) > 1:
+            fresh[1:] = (g[1:] != g[:-1]) | (s[1:] != s[:-1])
+        return np.bincount(g[fresh], minlength=n_groups)
+
     def atomic_serialization(self, conflicts: int) -> float:
         """Extra cycles when ``conflicts`` lanes hit the same address."""
         if conflicts <= 1:

@@ -283,3 +283,23 @@ class SetBranch(Op):
 
 #: Type alias for a stored procedure body: a generator over micro-ops.
 OpStream = Generator[Op, Any, None]
+
+#: Op kinds the vectorized execution backend can express and replay
+#: exactly (repro.core.backends). Lock and raw-atomic ops are absent
+#: by design: a K-SET wave is conflict-free and PART serialises within
+#: partitions, so neither strategy emits them -- and contended locks
+#: are precisely what only the lockstep interpreter can model.
+VECTORIZABLE_KINDS = frozenset(
+    {
+        READ,
+        WRITE,
+        COMPUTE,
+        SFU_COMPUTE,
+        INDEX_PROBE,
+        INSERT_ROW,
+        DELETE_ROW,
+        ABORT,
+        THREAD_FENCE,
+        SET_BRANCH,
+    }
+)

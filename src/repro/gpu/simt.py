@@ -52,6 +52,36 @@ class ThreadTask:
     capture_undo: bool = False
 
 
+def warp_layout(
+    n_threads: int, block_size: int, spec: GPUSpec
+) -> Tuple[List[Tuple[int, int]], List[List[int]], List[int]]:
+    """Pack ``n_threads`` into warps, blocks, and SMs.
+
+    The single source of truth for thread placement, shared by the
+    interpreter's :meth:`SIMTEngine.launch` and the vectorized
+    backend's cost replay (:mod:`repro.core.backends.replay`), which
+    must agree on it exactly. Returns ``(warp_bounds, sm_warp_ids,
+    resident_warps)``: per-warp ``[start, end)`` thread ranges, each
+    SM's warp ids in schedule order, and the per-SM resident-warp
+    count (capped by the occupancy ceiling).
+    """
+    sm_warp_ids: List[List[int]] = [[] for _ in range(spec.num_sms)]
+    bounds: List[Tuple[int, int]] = []
+    wid = 0
+    for b_start in range(0, n_threads, block_size):
+        b_end = min(b_start + block_size, n_threads)
+        sm = (b_start // block_size) % spec.num_sms
+        for w_start in range(b_start, b_end, spec.warp_size):
+            bounds.append((w_start, min(w_start + spec.warp_size, b_end)))
+            sm_warp_ids[sm].append(wid)
+            wid += 1
+    resident = [
+        min(len(ids), spec.max_blocks_per_sm * (block_size // spec.warp_size))
+        for ids in sm_warp_ids
+    ]
+    return bounds, sm_warp_ids, resident
+
+
 @dataclass
 class ThreadOutcome:
     """What happened to one thread's transaction(s)."""
@@ -164,17 +194,15 @@ class SIMTEngine:
         threads = [_Thread(t) for t in tasks]
 
         # Blocks round-robin over SMs; blocks split into warps.
-        sm_warps: List[List[List[_Thread]]] = [[] for _ in range(spec.num_sms)]
-        for b_start in range(0, len(threads), self.block_size):
-            block = threads[b_start : b_start + self.block_size]
-            sm = (b_start // self.block_size) % spec.num_sms
-            for w_start in range(0, len(block), spec.warp_size):
-                sm_warps[sm].append(block[w_start : w_start + spec.warp_size])
+        bounds, sm_warp_ids, resident = warp_layout(
+            len(threads), self.block_size, spec
+        )
+        sm_warps: List[List[List[_Thread]]] = [
+            [threads[bounds[w][0] : bounds[w][1]] for w in ids]
+            for ids in sm_warp_ids
+        ]
         for sm in range(spec.num_sms):
-            stats.resident_warps[sm] = min(
-                len(sm_warps[sm]),
-                spec.max_blocks_per_sm * (self.block_size // spec.warp_size),
-            )
+            stats.resident_warps[sm] = resident[sm]
 
         # Prime every generator with its first op.
         alive = 0

@@ -100,6 +100,7 @@ class BulkFormer:
         strategy: str,
         service_s: float,
         p95_total_s: float,
+        backend: Optional[str] = None,
     ) -> None:
         """Feed back one executed bulk's outcome (no-op by default)."""
 
@@ -164,9 +165,13 @@ class AdaptiveBulkFormer(BulkFormer):
         strategy: str,
         service_s: float,
         p95_total_s: float,
+        backend: Optional[str] = None,
     ) -> None:
         slo = self.slo
-        self.feedback.observe(strategy, size, service_s)
+        # The simulated service model is backend-independent; the
+        # backend-keyed curve is kept alongside so operators can read
+        # per-backend behaviour off one feedback object.
+        self.feedback.observe(strategy, size, service_s, backend=backend)
         self._last_strategy = strategy
         self.trajectory.append((size, self._target, strategy))
         # AIMD on the observed end-to-end p95 -- but a breach has two

@@ -14,6 +14,8 @@ from __future__ import annotations
 import copy
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.errors import CatalogError, StorageError
 from repro.storage.buffer import MutationJournal
 from repro.storage.column_store import ColumnTable
@@ -26,6 +28,17 @@ Index = Union[HashIndex, MultiHashIndex]
 
 #: Address stride separating tables in the pretend device address space.
 _TABLE_REGION_STRIDE = 1 << 38
+
+
+def static_map_cost_base(map_name: str, key: Any) -> int:
+    """Bucket-header address of one static-map probe.
+
+    The single source of the static maps' cost-address formula (hash
+    indexes own theirs in :meth:`HashIndex.cost_address_base`); one
+    probe is two dependent 8-byte reads at ``base`` and ``base + 8``.
+    Shared by the SIMT adapter path and the vectorized backend.
+    """
+    return (hash((map_name, key)) & 0xFFFFFF) * 16
 
 
 class Database:
@@ -283,8 +296,8 @@ class StoreAdapter:
 
     def probe_cost_addresses(self, index: str, key: Any) -> List[Tuple[int, int]]:
         if index in self.db.static_maps:
-            bucket = hash((index, key)) & 0xFFFFFF
-            return [(bucket * 16, 8), (bucket * 16 + 8, 8)]
+            base = static_map_cost_base(index, key)
+            return [(base, 8), (base + 8, 8)]
         return self.db.index(index).probe_cost_addresses(key)
 
     def insert(self, table: str, values: Sequence[Any]) -> int:
@@ -348,6 +361,35 @@ class StoreAdapter:
         if self._recorders:
             for recorder in self._recorders:
                 recorder.on_cancel_delete(table, row)
+
+    # -- bulk access (vectorized backend fast path) -------------------------
+    def gather_bulk(self, table: str, column: str, rows: Any) -> Any:
+        """Read ``table.column`` at many rows in one pass.
+
+        Functionally equivalent to :meth:`read` per row (values are
+        numpy scalars; the vectorized kernels convert at the result
+        edge, where the interpreter's ``.item()`` conversion happens).
+        Requires a column-layout table.
+        """
+        return self.db.table(table).gather(column, rows)
+
+    def scatter_bulk(self, table: str, column: str, rows: Any, values: Any) -> None:
+        """Write many cells of ``table.column`` in one pass.
+
+        Equivalent to :meth:`write` per (row, value) pair, including
+        the durability journal hooks: every cell is streamed to any
+        attached redo recorder in element order, so a WAL written under
+        the vectorized backend replays to the same physical state as
+        one written under the interpreter (write sets of a conflict-
+        free wave are disjoint, so element order within the wave does
+        not affect the replayed state).
+        """
+        self.db.table(table).scatter(column, rows, values)
+        if self._recorders:
+            for row, value in zip(rows, values):
+                py = value.item() if isinstance(value, np.generic) else value
+                for recorder in self._recorders:
+                    recorder.on_write(table, column, int(row), py)
 
     # -- batch boundary -----------------------------------------------------
     def apply_batch(self) -> None:

@@ -279,3 +279,52 @@ class ColumnTable:
     def column_array(self, column: str) -> np.ndarray:
         """Direct (read-only by convention) view of a column's values."""
         return self._columns[column].data[: self.n_rows]
+
+    # ------------------------------------------------------------------
+    # Bulk cell access (the vectorized execution backend's fast path).
+    # ------------------------------------------------------------------
+    def gather(self, column: str, rows: np.ndarray) -> np.ndarray:
+        """Read ``column`` at many ``rows`` in one fancy-index pass.
+
+        Element types match :meth:`read` applied per row (numpy scalars
+        before their ``.item()`` conversion); callers that need Python
+        scalars convert at the edge, exactly like the interpreter does.
+        Out-of-range rows raise, like :meth:`read` -- silently wrapping
+        a ``-1`` probe miss to the buffer tail would turn a kernel bug
+        into wrong results instead of a loud error.
+        """
+        try:
+            col = self._columns[column]
+        except KeyError:
+            raise StorageError(
+                f"no column {column!r} in table {self.schema.name!r}"
+            ) from None
+        if len(rows) and (rows.min() < 0 or rows.max() >= self.n_rows):
+            raise StorageError(
+                f"gather rows out of range [0, {self.n_rows}) in "
+                f"table {self.schema.name!r}"
+            )
+        return col.data[rows]
+
+    def scatter(self, column: str, rows: np.ndarray, values: np.ndarray) -> None:
+        """Write many cells of ``column`` in one fancy-index pass.
+
+        Equivalent to :meth:`write` per (row, value) pair; respects the
+        copy-on-write fork protocol. Rows must be in-range and unique
+        (the vectorized backend only scatters conflict-free waves).
+        """
+        try:
+            col = self._columns[column]
+        except KeyError:
+            raise StorageError(
+                f"no column {column!r} in table {self.schema.name!r}"
+            ) from None
+        if len(rows) == 0:
+            return
+        if rows.min() < 0 or rows.max() >= self.n_rows:
+            raise StorageError(
+                f"scatter rows out of range [0, {self.n_rows}) in "
+                f"table {self.schema.name!r}"
+            )
+        col.prepare_write()
+        col.data[rows] = values

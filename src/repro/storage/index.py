@@ -27,6 +27,18 @@ from repro.errors import IndexError_
 _INDEX_REGION_STRIDE = 1 << 34
 
 
+def _bucket_base(region: int, key: Any) -> int:
+    """Device address of ``key``'s bucket header in ``region``.
+
+    The single source of the bucket-address formula: one probe is two
+    dependent 8-byte reads at ``base`` and ``base + 8``. Both index
+    flavours use it, and the vectorized backend's replay reuses it to
+    reproduce the interpreter's coalescing byte-for-byte (static maps
+    have their own variant in ``repro.storage.catalog``).
+    """
+    return region + (hash(key) & 0xFFFFFF) * 16
+
+
 class HashIndex:
     """Unique hash index: key -> row id."""
 
@@ -60,9 +72,18 @@ class HashIndex:
         """Row id for ``key``, or -1 (the device convention)."""
         return self._map.get(key, -1)
 
+    @property
+    def mapping(self) -> Dict[Any, int]:
+        """The key -> row dict (read-only by convention; the vectorized
+        backend's bulk probes iterate it directly)."""
+        return self._map
+
+    def cost_address_base(self, key: Any) -> int:
+        """Device address of ``key``'s bucket header (:func:`_bucket_base`)."""
+        return _bucket_base(self._region, key)
+
     def probe_cost_addresses(self, key: Any) -> List[Tuple[int, int]]:
-        bucket = hash(key) & 0xFFFFFF
-        base = self._region + bucket * 16
+        base = self.cost_address_base(key)
         return [(base, 8), (base + 8, 8)]
 
     def items(self) -> Iterator[Tuple[Any, int]]:
@@ -122,9 +143,17 @@ class MultiHashIndex:
     def probe_all(self, key: Any) -> List[int]:
         return list(self._map.get(key, ()))
 
+    @property
+    def mapping(self) -> Dict[Any, List[int]]:
+        """The key -> rows dict (read-only by convention)."""
+        return self._map
+
+    def cost_address_base(self, key: Any) -> int:
+        """Device address of ``key``'s bucket header (:func:`_bucket_base`)."""
+        return _bucket_base(self._region, key)
+
     def probe_cost_addresses(self, key: Any) -> List[Tuple[int, int]]:
-        bucket = hash(key) & 0xFFFFFF
-        base = self._region + bucket * 16
+        base = self.cost_address_base(key)
         return [(base, 8), (base + 8, 8)]
 
     def items(self) -> Iterator[Tuple[Any, List[int]]]:

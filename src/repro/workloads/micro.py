@@ -97,6 +97,19 @@ def build_procedures(
             yield op_ir.Write(TABLE, "value", row, value + 1.0)
             return value + 1.0
 
+        def vector_body(ctx) -> None:
+            # The batched form of ``body`` (same per-lane op trace).
+            import numpy as np
+
+            rows = ctx.param_i64(0)
+            value = ctx.read(TABLE, "value", rows)
+            ctx.sfu(sinf_calls)
+            ctx.write(TABLE, "value", rows, value + 1.0)
+            out = [None] * ctx.n
+            for i in np.flatnonzero(ctx.active):
+                out[i] = float(value[i]) + 1.0
+            ctx.finish(out)
+
         def access_fn(params) -> List[Access]:
             return [Access(item=int(params[0]), write=True)]
 
@@ -110,6 +123,7 @@ def build_procedures(
             partition_fn=partition_fn,
             two_phase=True,
             conflict_classes=frozenset({TABLE}),
+            vector_body=vector_body,
         )
 
     return [make_type(b) for b in range(n_branches)]
@@ -147,6 +161,27 @@ def build_pair_procedures(
                 yield op_ir.Write(TABLE, "value", row_b, value_b + 1.0)
             return value_a + 1.0
 
+        def vector_body(ctx) -> None:
+            # The batched form of ``body`` (same per-lane op trace).
+            import numpy as np
+
+            a = ctx.param_i64(0)
+            b = ctx.param_i64(1)
+            row_a = ctx.index_probe("tuples_pk", a)
+            ctx.abort_where(row_a < 0, "tuple a not found")
+            row_b = ctx.index_probe("tuples_pk", b)
+            ctx.abort_where(row_b < 0, "tuple b not found")
+            value_a = ctx.read(TABLE, "value", row_a)
+            ctx.sfu(sinf_calls)
+            ctx.write(TABLE, "value", row_a, value_a + 1.0)
+            pair = row_b != row_a
+            value_b = ctx.read(TABLE, "value", row_b, mask=pair)
+            ctx.write(TABLE, "value", row_b, value_b + 1.0, mask=pair)
+            out = [None] * ctx.n
+            for i in np.flatnonzero(ctx.active):
+                out[i] = float(value_a[i]) + 1.0
+            ctx.finish(out)
+
         def access_fn(params) -> List[Access]:
             a, b = int(params[0]), int(params[1])
             if a == b:
@@ -164,6 +199,7 @@ def build_pair_procedures(
             partition_fn=partition_fn,
             two_phase=True,
             conflict_classes=frozenset({TABLE}),
+            vector_body=vector_body,
         )
 
     return [make_type(b) for b in range(n_branches)]

@@ -368,6 +368,167 @@ def _sync_location(src_s_id: int, dst_s_id: int) -> op_ir.OpStream:
     return int(vlr)
 
 
+# ---------------------------------------------------------------------------
+# Vectorized forms of the stored procedures (repro.core.backends).
+#
+# Each kernel executes a whole same-type wave as batched NumPy column
+# operations -- gather, compute, conflict-masked scatter -- while
+# recording, per lane, exactly the op sequence the generator body
+# above yields. That one-to-one correspondence is what makes the
+# vectorized backend's simulated clock identical to the interpreter's,
+# so keep the two forms in lockstep when editing either.
+# ---------------------------------------------------------------------------
+def _key2(a: np.ndarray, b: np.ndarray) -> List[tuple]:
+    return list(zip(a.tolist(), b.tolist()))
+
+
+def _key3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> List[tuple]:
+    return list(zip(a.tolist(), b.tolist(), c.tolist()))
+
+
+def _v_get_subscriber_data(ctx) -> None:
+    s_id = ctx.param_i64(0)
+    row = ctx.index_probe("subscriber_pk", s_id)
+    ctx.abort_where(row < 0, "subscriber not found")
+    bit_1 = ctx.read(SUBSCRIBER, "bit_1", row)
+    hex_5 = ctx.read(SUBSCRIBER, "hex_5", row)
+    byte2_9 = ctx.read(SUBSCRIBER, "byte2_9", row)
+    msc = ctx.read(SUBSCRIBER, "msc_location", row)
+    vlr = ctx.read(SUBSCRIBER, "vlr_location", row)
+    out: List[tuple] = [None] * ctx.n  # type: ignore[list-item]
+    for i in np.flatnonzero(ctx.active):
+        out[i] = (
+            bool(bit_1[i]), int(hex_5[i]), int(byte2_9[i]),
+            int(msc[i]), int(vlr[i]),
+        )
+    ctx.finish(out)
+
+
+def _v_get_new_destination(ctx) -> None:
+    s_id = ctx.param_i64(0)
+    sf_type = ctx.param_i64(1)
+    start_time = ctx.param_i64(2)
+    end_time = ctx.param_i64(3)
+    sf_row = ctx.index_probe("special_facility_pk", _key2(s_id, sf_type))
+    ctx.abort_where(sf_row < 0, "no special facility")
+    active_flag = ctx.read(SPECIAL_FACILITY, "is_active", sf_row)
+    ctx.abort_where(~active_flag.astype(bool), "special facility inactive")
+    cand = ctx.index_probe_multi(
+        "call_forwarding_by_sf", _key2(s_id, sf_type)
+    )
+    n_cand = np.fromiter((len(c) for c in cand), np.int64, ctx.n)
+    searching = ctx.active.copy()
+    slot = 0
+    while True:
+        has = searching & ctx.active & (n_cand > slot)
+        if not has.any():
+            break
+        rows = np.fromiter(
+            (c[slot] if len(c) > slot else 0 for c in cand), np.int64, ctx.n
+        )
+        cf_start = ctx.read(CALL_FORWARDING, "start_time", rows, mask=has)
+        cf_end = ctx.read(CALL_FORWARDING, "end_time", rows, mask=has)
+        match = has & (cf_start <= start_time) & (end_time < cf_end)
+        if match.any():
+            numberx = ctx.read(CALL_FORWARDING, "numberx", rows, mask=match)
+            out: List[str] = [None] * ctx.n  # type: ignore[list-item]
+            for i in np.flatnonzero(match):
+                out[i] = numberx[i]
+            ctx.finish_where(match, out)
+            searching &= ~match
+        slot += 1
+    ctx.abort_where(searching, "no matching call forwarding")
+
+
+def _v_get_access_data(ctx) -> None:
+    s_id = ctx.param_i64(0)
+    ai_type = ctx.param_i64(1)
+    row = ctx.index_probe("access_info_pk", _key2(s_id, ai_type))
+    ctx.abort_where(row < 0, "no access info")
+    data = [
+        ctx.read(ACCESS_INFO, f"data{i}", row) for i in range(1, 5)
+    ]
+    out: List[tuple] = [None] * ctx.n  # type: ignore[list-item]
+    for i in np.flatnonzero(ctx.active):
+        out[i] = tuple(int(d[i]) for d in data)
+    ctx.finish(out)
+
+
+def _v_update_subscriber_data(ctx) -> None:
+    s_id = ctx.param_i64(0)
+    bit_1 = ctx.param_bool(1)
+    sf_type = ctx.param_i64(2)
+    data_a = ctx.param_i64(3)
+    sub_row = ctx.index_probe("subscriber_pk", s_id)
+    ctx.abort_where(sub_row < 0, "subscriber not found")
+    sf_row = ctx.index_probe("special_facility_pk", _key2(s_id, sf_type))
+    ctx.abort_where(sf_row < 0, "no special facility")
+    ctx.write(SUBSCRIBER, "bit_1", sub_row, bit_1)
+    ctx.write(SPECIAL_FACILITY, "data_a", sf_row, data_a)
+    ctx.finish(None)
+
+
+def _v_lookup_sub_nbr(ctx) -> None:
+    sub_nbr = ctx.param_obj(0)
+    s_id = ctx.index_probe("sub_nbr_map", sub_nbr)
+    out: List[int] = [None] * ctx.n  # type: ignore[list-item]
+    for i in np.flatnonzero(ctx.active):
+        out[i] = int(s_id[i])
+    ctx.finish(out)
+
+
+def _v_update_location(ctx) -> None:
+    s_id = ctx.param_i64(0)
+    vlr_location = ctx.param_i64(1)
+    row = ctx.index_probe("subscriber_pk", s_id)
+    ctx.abort_where(row < 0, "subscriber not found")
+    ctx.write(SUBSCRIBER, "vlr_location", row, vlr_location)
+    ctx.finish(None)
+
+
+def _v_insert_call_forwarding(ctx) -> None:
+    s_id = ctx.param_i64(0)
+    sf_type = ctx.param_i64(1)
+    start_time = ctx.param_i64(2)
+    sf_row = ctx.index_probe("special_facility_pk", _key2(s_id, sf_type))
+    ctx.abort_where(sf_row < 0, "no special facility")
+    existing = ctx.index_probe(
+        "call_forwarding_pk", _key3(s_id, sf_type, start_time)
+    )
+    ctx.abort_where(existing >= 0, "call forwarding exists")
+    # The row tuple IS the signature's parameter tuple, as in the
+    # generator form's InsertRow(...params...).
+    ctx.insert(CALL_FORWARDING, ctx.params)
+    ctx.finish(None)
+
+
+def _v_delete_call_forwarding(ctx) -> None:
+    s_id = ctx.param_i64(0)
+    sf_type = ctx.param_i64(1)
+    start_time = ctx.param_i64(2)
+    row = ctx.index_probe(
+        "call_forwarding_pk", _key3(s_id, sf_type, start_time)
+    )
+    ctx.abort_where(row < 0, "no call forwarding")
+    ctx.delete(CALL_FORWARDING, row)
+    ctx.finish(None)
+
+
+def _v_sync_location(ctx) -> None:
+    src = ctx.param_i64(0)
+    dst = ctx.param_i64(1)
+    src_row = ctx.index_probe("subscriber_pk", src)
+    ctx.abort_where(src_row < 0, "source subscriber not found")
+    dst_row = ctx.index_probe("subscriber_pk", dst)
+    ctx.abort_where(dst_row < 0, "destination subscriber not found")
+    vlr = ctx.read(SUBSCRIBER, "vlr_location", src_row)
+    ctx.write(SUBSCRIBER, "vlr_location", dst_row, vlr)
+    out: List[int] = [None] * ctx.n  # type: ignore[list-item]
+    for i in np.flatnonzero(ctx.active):
+        out[i] = int(vlr[i])
+    ctx.finish(out)
+
+
 def _sub_access(write: bool):
     def access_fn(params) -> List[Access]:
         return [Access(item=int(params[0]), write=write)]
@@ -400,6 +561,7 @@ PROCEDURES = [
         partition_fn=_sub_partition,
         two_phase=True,
         conflict_classes=frozenset({SUBSCRIBER}),
+        vector_body=_v_get_subscriber_data,
     ),
     TransactionType(
         name="tm1_get_new_destination",
@@ -408,6 +570,7 @@ PROCEDURES = [
         partition_fn=_sub_partition,
         two_phase=True,
         conflict_classes=frozenset({SPECIAL_FACILITY, CALL_FORWARDING}),
+        vector_body=_v_get_new_destination,
     ),
     TransactionType(
         name="tm1_get_access_data",
@@ -416,6 +579,7 @@ PROCEDURES = [
         partition_fn=_sub_partition,
         two_phase=True,
         conflict_classes=frozenset({ACCESS_INFO}),
+        vector_body=_v_get_access_data,
     ),
     TransactionType(
         name="tm1_update_subscriber_data",
@@ -424,6 +588,7 @@ PROCEDURES = [
         partition_fn=_sub_partition,
         two_phase=True,
         conflict_classes=frozenset({SUBSCRIBER, SPECIAL_FACILITY}),
+        vector_body=_v_update_subscriber_data,
     ),
     TransactionType(
         name="tm1_lookup_sub_nbr",
@@ -432,6 +597,7 @@ PROCEDURES = [
         partition_fn=_lookup_partition,
         two_phase=True,
         conflict_classes=frozenset(),
+        vector_body=_v_lookup_sub_nbr,
     ),
     TransactionType(
         name="tm1_update_location",
@@ -440,6 +606,7 @@ PROCEDURES = [
         partition_fn=_sub_partition,
         two_phase=True,
         conflict_classes=frozenset({SUBSCRIBER}),
+        vector_body=_v_update_location,
     ),
     TransactionType(
         name="tm1_insert_call_forwarding",
@@ -448,6 +615,8 @@ PROCEDURES = [
         partition_fn=_sub_partition,
         two_phase=True,
         conflict_classes=frozenset({SPECIAL_FACILITY, CALL_FORWARDING}),
+        vector_body=_v_insert_call_forwarding,
+        vector_inserts=frozenset({CALL_FORWARDING}),
     ),
     TransactionType(
         name="tm1_delete_call_forwarding",
@@ -456,6 +625,7 @@ PROCEDURES = [
         partition_fn=_sub_partition,
         two_phase=True,
         conflict_classes=frozenset({CALL_FORWARDING}),
+        vector_body=_v_delete_call_forwarding,
     ),
 ]
 
@@ -472,6 +642,7 @@ SYNC_LOCATION = TransactionType(
     partition_fn=lambda p: int(p[0]) if int(p[0]) == int(p[1]) else None,
     two_phase=True,
     conflict_classes=frozenset({SUBSCRIBER}),
+    vector_body=_v_sync_location,
 )
 
 #: TM1 plus the cross-subscriber sync type, for ClusterTx workloads.

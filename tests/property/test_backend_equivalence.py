@@ -1,0 +1,157 @@
+"""Property-based backend equivalence: interpreted vs. vectorized.
+
+For random micro and TM1 bulks -- including multi-round K-SET graphs
+with streaming deferrals, PART partition schedules, and the
+insert/delete-heavy TM1 mix -- the two execution backends must agree
+on *everything observable*: per-transaction outcomes (commit/abort,
+reason, value), the deferral sets, the simulated clock, and the final
+``Database.physical_state()`` (byte-identical stores, including
+physical row order of batched inserts).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EngineOptions, GPUTx
+from repro.workloads import micro, tm1
+
+N_TUPLES = 48
+TM1_SUBS = 40  # tiny subscriber pool -> plenty of conflicts per bulk
+
+
+def _micro_specs():
+    txn = st.tuples(
+        st.integers(0, 3).map(lambda b: f"micro_{b}"),
+        st.tuples(st.integers(0, N_TUPLES - 1)),
+    )
+    return st.lists(txn, min_size=1, max_size=60)
+
+
+def _tm1_specs():
+    s_id = st.integers(0, TM1_SUBS - 1)
+    sf = st.integers(1, 4)
+    start = st.sampled_from([0, 8, 16])
+    get_sub = st.tuples(st.just("tm1_get_subscriber_data"), st.tuples(s_id))
+    get_dest = st.tuples(
+        st.just("tm1_get_new_destination"),
+        st.tuples(s_id, sf, start, st.integers(1, 24)),
+    )
+    get_access = st.tuples(
+        st.just("tm1_get_access_data"), st.tuples(s_id, st.integers(1, 4))
+    )
+    upd_sub = st.tuples(
+        st.just("tm1_update_subscriber_data"),
+        st.tuples(s_id, st.booleans(), sf, st.integers(0, 255)),
+    )
+    upd_loc = st.tuples(
+        st.just("tm1_update_location"), st.tuples(s_id, st.integers(1, 1 << 20))
+    )
+    ins_cf = st.tuples(
+        st.just("tm1_insert_call_forwarding"),
+        st.tuples(s_id, sf, start, st.integers(1, 24), st.just("x" * 15)),
+    )
+    del_cf = st.tuples(
+        st.just("tm1_delete_call_forwarding"), st.tuples(s_id, sf, start)
+    )
+    return st.lists(
+        st.one_of(
+            get_sub, get_dest, get_access, upd_sub, upd_loc, ins_cf, del_cf
+        ),
+        min_size=1,
+        max_size=50,
+    )
+
+
+def _run(build_db, procedures, specs, backend, strategy, **options):
+    db = build_db()
+    engine = GPUTx(
+        db,
+        procedures=procedures,
+        options=EngineOptions(
+            backend=backend, strict_vector=(backend == "vectorized")
+        ),
+    )
+    engine.submit_many(specs)
+    bulks = [engine.run_bulk(strategy=strategy, **options)]
+    # Drain deferrals (streaming K-SET requeues blocked work).
+    while len(engine.pool):
+        bulks.append(engine.run_bulk(strategy=strategy, **options))
+    observable = [
+        (
+            [(r.txn_id, r.committed, r.abort_reason, r.value)
+             for r in b.results],
+            sorted(t.txn_id for t in b.deferred),
+            b.seconds,
+        )
+        for b in bulks
+    ]
+    return db.physical_state(), observable
+
+
+def _assert_equivalent(build_db, procedures, specs, strategy, **options):
+    state_i, obs_i = _run(
+        build_db, procedures, specs, "interpreted", strategy, **options
+    )
+    state_v, obs_v = _run(
+        build_db, procedures, specs, "vectorized", strategy, **options
+    )
+    assert obs_i == obs_v
+    assert state_i == state_v
+
+
+class TestMicroEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(specs=_micro_specs(), max_rounds=st.sampled_from([None, 1, 2]))
+    def test_kset_with_streaming_deferrals(self, specs, max_rounds):
+        _assert_equivalent(
+            lambda: micro.build_database(N_TUPLES),
+            micro.build_procedures(4),
+            specs,
+            "kset",
+            max_rounds=max_rounds,
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=_micro_specs(), partition_size=st.sampled_from([1, 4]))
+    def test_part(self, specs, partition_size):
+        _assert_equivalent(
+            lambda: micro.build_database(N_TUPLES),
+            micro.build_procedures(4),
+            specs,
+            "part",
+            partition_size=partition_size,
+        )
+
+
+class TestTm1Equivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(specs=_tm1_specs())
+    def test_kset(self, specs):
+        _assert_equivalent(
+            lambda: tm1.build_database(1, subscribers_per_sf=TM1_SUBS, seed=3),
+            tm1.PROCEDURES,
+            specs,
+            "kset",
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=_tm1_specs(), partition_size=st.sampled_from([1, 8]))
+    def test_part(self, specs, partition_size):
+        _assert_equivalent(
+            lambda: tm1.build_database(1, subscribers_per_sf=TM1_SUBS, seed=3),
+            tm1.PROCEDURES,
+            specs,
+            "part",
+            partition_size=partition_size,
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(specs=_tm1_specs())
+    def test_streaming_kset_deferrals(self, specs):
+        _assert_equivalent(
+            lambda: tm1.build_database(1, subscribers_per_sf=TM1_SUBS, seed=3),
+            tm1.PROCEDURES,
+            specs,
+            "kset",
+            max_rounds=1,
+        )

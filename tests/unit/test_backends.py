@@ -1,0 +1,355 @@
+"""Execution backends: registry, options, exact equivalence, fallback.
+
+The vectorized backend's contract is *byte-identical everything*:
+outcomes, final physical state, and every simulated-clock figure down
+to the per-SM KernelStats fields. These tests pin that contract on
+small deterministic workloads; the hypothesis suite
+(tests/property/test_backend_equivalence.py) fuzzes it.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import ConfigError, EngineOptions, ExecutionError, GPUTx
+from repro.core.backends import (
+    InterpretedBackend,
+    VectorizedBackend,
+    available_backends,
+    create_backend,
+)
+from repro.core.chooser import ChooserThresholds
+from repro.gpu.costmodel import GpuCostModel
+from repro.gpu.primitives import PrimitiveLibrary
+from repro.gpu.spec import C1060
+from repro.workloads import micro, tm1
+
+from tests.conftest import BANK_PROCEDURES, build_bank_db
+
+STATS_FIELDS = (
+    "issue_cycles",
+    "mem_transactions",
+    "mem_instructions",
+    "mem_bytes",
+    "atomic_cycles",
+    "resident_warps",
+    "ops_executed",
+    "divergent_serializations",
+    "spin_iterations",
+    "atomic_conflicts",
+    "rounds",
+    "threads_launched",
+    "threads_aborted",
+)
+
+
+def _engine(db, procedures, backend, **kwargs):
+    return GPUTx(
+        db,
+        procedures=procedures,
+        options=EngineOptions(
+            backend=backend, strict_vector=(backend == "vectorized")
+        ),
+        **kwargs,
+    )
+
+
+def run_both(build_db, procedures, specs, strategy, drain=False, **options):
+    """Run the same bulk under both backends; return (db, results) per."""
+    out = []
+    for backend in ("interpreted", "vectorized"):
+        db = build_db()
+        engine = _engine(db, procedures, backend)
+        engine.submit_many(specs)
+        results = [engine.run_bulk(strategy=strategy, **options)]
+        while drain and len(engine.pool):
+            results.append(engine.run_bulk(strategy=strategy, **options))
+        out.append((db, results, engine))
+    return out
+
+
+def assert_identical(interp, vector):
+    (db_i, res_i, _), (db_v, res_v, _) = interp, vector
+    assert len(res_i) == len(res_v)
+    for ri, rv in zip(res_i, res_v):
+        assert [
+            (r.txn_id, r.committed, r.abort_reason, r.value)
+            for r in ri.results
+        ] == [
+            (r.txn_id, r.committed, r.abort_reason, r.value)
+            for r in rv.results
+        ]
+        assert [t.txn_id for t in ri.deferred] == [
+            t.txn_id for t in rv.deferred
+        ]
+        assert ri.seconds == rv.seconds
+        assert ri.breakdown.phases == rv.breakdown.phases
+        for ki, kv in zip(ri.kernel_reports, rv.kernel_reports):
+            for field in STATS_FIELDS:
+                assert getattr(ki.stats, field) == getattr(kv.stats, field), field
+            assert ki.timing.cycles == kv.timing.cycles
+            assert ki.timing.seconds == kv.timing.seconds
+            assert ki.timing.bound == kv.timing.bound
+    assert db_i.physical_state() == db_v.physical_state()
+
+
+class TestRegistryAndOptions:
+    def test_both_builtin_backends_registered(self):
+        assert "interpreted" in available_backends()
+        assert "vectorized" in available_backends()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError, match="unknown execution backend"):
+            EngineOptions(backend="cuda")
+
+    def test_bad_min_wave_rejected(self):
+        with pytest.raises(ConfigError, match="vector_min_wave"):
+            EngineOptions(vector_min_wave=0)
+
+    def test_create_backend_resolves_names(self):
+        assert isinstance(
+            create_backend(EngineOptions()), InterpretedBackend
+        )
+        assert isinstance(
+            create_backend(EngineOptions(backend="vectorized")),
+            VectorizedBackend,
+        )
+
+    def test_engine_defaults_to_interpreted(self):
+        engine = GPUTx(build_bank_db(8), procedures=BANK_PROCEDURES)
+        assert engine.backend.name == "interpreted"
+        assert engine.options.backend == "interpreted"
+
+    def test_rebuild_on_preserves_backend(self):
+        engine = _engine(
+            micro.build_database(32), micro.build_procedures(2), "vectorized"
+        )
+        twin = engine.rebuild_on(micro.build_database(32))
+        assert twin.backend.name == "vectorized"
+        assert twin.options == engine.options
+
+    def test_lock_strategies_stay_interpreted(self):
+        """TPL routes through the interpreter even on a vectorized
+        engine -- only the interpreter models spin locks."""
+        db = micro.build_database(64)
+        engine = GPUTx(
+            db,
+            procedures=micro.build_procedures(2),
+            options=EngineOptions(backend="vectorized"),
+        )
+        engine.submit_many(
+            micro.generate_transactions(24, n_tuples=64, n_branches=2)
+        )
+        result = engine.run_bulk(strategy="tpl")
+        assert result.backend == "interpreted"
+        assert result.committed == 24
+
+
+class TestExactEquivalence:
+    def test_tm1_kset_identical(self):
+        db0 = tm1.build_database(1, seed=3)
+        specs = tm1.generate_transactions(db0, 250, seed=5)
+        interp, vector = run_both(
+            lambda: tm1.build_database(1, seed=3),
+            tm1.PROCEDURES,
+            specs,
+            "kset",
+        )
+        assert_identical(interp, vector)
+        assert vector[2].backend.waves_vectorized > 0
+        assert vector[2].backend.waves_interpreted == 0
+
+    @pytest.mark.parametrize("partition_size", [1, 8])
+    def test_tm1_part_identical(self, partition_size):
+        db0 = tm1.build_database(1, seed=3)
+        # Mutation-heavy mix: inserts/deletes exercise event ordering.
+        mix = [
+            ("tm1_get_new_destination", 30.0),
+            ("tm1_insert_call_forwarding", 35.0),
+            ("tm1_delete_call_forwarding", 35.0),
+        ]
+        specs = tm1.generate_transactions(db0, 250, seed=7, mix=mix)
+        interp, vector = run_both(
+            lambda: tm1.build_database(1, seed=3),
+            tm1.PROCEDURES,
+            specs,
+            "part",
+            partition_size=partition_size,
+        )
+        assert_identical(interp, vector)
+
+    def test_micro_streaming_kset_deferrals_identical(self):
+        """Streaming K-SET (max_rounds) defers blocked work; the
+        deferral sets and every later bulk must match."""
+        specs = micro.generate_transactions(
+            200, n_tuples=64, alpha=0.5, seed=21
+        )
+        interp, vector = run_both(
+            lambda: micro.build_database(64),
+            micro.build_procedures(),
+            specs,
+            "kset",
+            drain=True,
+            max_rounds=2,
+        )
+        assert len(interp[1]) > 1  # the deferral path actually ran
+        assert_identical(interp, vector)
+
+    def test_micro_pair_kset_identical(self):
+        rng = np.random.default_rng(3)
+        pairs = rng.integers(0, 128, size=(150, 2))
+        specs = [
+            (f"micro_pair_{i % 4}", (int(a), int(b)))
+            for i, (a, b) in enumerate(pairs)
+        ]
+        interp, vector = run_both(
+            lambda: micro.build_database(128, with_index=True),
+            micro.build_pair_procedures(4),
+            specs,
+            "kset",
+        )
+        assert_identical(interp, vector)
+
+
+class TestFallback:
+    def test_types_without_vector_form_fall_back(self):
+        db = build_bank_db(16)
+        engine = GPUTx(
+            db,
+            procedures=BANK_PROCEDURES,
+            options=EngineOptions(backend="vectorized"),
+        )
+        for i in range(12):
+            engine.submit("deposit", (i % 16, 5))
+        result = engine.run_bulk(strategy="kset")
+        assert result.committed == 12
+        assert engine.backend.waves_interpreted > 0
+        assert engine.backend.waves_vectorized == 0
+        assert "vector form" in engine.backend.last_fallback_reason
+
+    def test_strict_vector_raises_instead_of_falling_back(self):
+        engine = GPUTx(
+            build_bank_db(16),
+            procedures=BANK_PROCEDURES,
+            options=EngineOptions(backend="vectorized", strict_vector=True),
+        )
+        engine.submit("deposit", (1, 5))
+        with pytest.raises(ExecutionError, match="strict_vector"):
+            engine.run_bulk(strategy="kset")
+
+    def test_row_layout_falls_back(self):
+        db = micro.build_database(32, layout="row")
+        engine = GPUTx(
+            db,
+            procedures=micro.build_procedures(2),
+            options=EngineOptions(backend="vectorized"),
+        )
+        engine.submit_many(
+            micro.generate_transactions(16, n_tuples=32, n_branches=2)
+        )
+        result = engine.run_bulk(strategy="kset")
+        assert result.committed == 16
+        assert engine.backend.waves_interpreted > 0
+        assert "column" in engine.backend.last_fallback_reason
+
+    def test_min_wave_keeps_tiny_waves_interpreted(self):
+        db = micro.build_database(32)
+        engine = GPUTx(
+            db,
+            procedures=micro.build_procedures(2),
+            options=EngineOptions(backend="vectorized", vector_min_wave=64),
+        )
+        engine.submit_many(
+            micro.generate_transactions(16, n_tuples=32, n_branches=2)
+        )
+        result = engine.run_bulk(strategy="kset")
+        assert result.committed == 16
+        assert engine.backend.waves_interpreted > 0
+        assert engine.backend.waves_vectorized == 0
+
+
+class TestWarnDedupPerEngine:
+    """A second engine in the same process must still get its first
+    dropped-option warning (the old global warning filter swallowed
+    it); repeats on the same engine stay deduplicated."""
+
+    def _engine(self):
+        engine = GPUTx(
+            micro.build_database(32),
+            procedures=micro.build_procedures(2),
+            thresholds=ChooserThresholds(w0_bar=1),
+        )
+        engine.submit_many(
+            micro.generate_transactions(8, n_tuples=32, n_branches=2)
+        )
+        return engine
+
+    def test_second_engine_warns_again(self):
+        first = self._engine()
+        with pytest.warns(UserWarning, match="partition_size"):
+            first.run_bulk(strategy="auto", partition_size=4)
+        second = self._engine()
+        with pytest.warns(UserWarning, match="partition_size"):
+            second.run_bulk(strategy="auto", partition_size=4)
+
+    def test_same_engine_warns_once(self):
+        engine = self._engine()
+        with pytest.warns(UserWarning, match="partition_size"):
+            engine.run_bulk(strategy="auto", max_txns=4, partition_size=4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            engine.run_bulk(strategy="auto", max_txns=4, partition_size=4)
+
+
+class TestWallFeedback:
+    def test_per_backend_wall_model_observed(self):
+        engine = _engine(
+            micro.build_database(64), micro.build_procedures(2), "vectorized"
+        )
+        engine.submit_many(
+            micro.generate_transactions(32, n_tuples=64, n_branches=2)
+        )
+        engine.run_bulk(strategy="kset")
+        assert engine.wall_feedback.observations("kset") == 1
+        assert (
+            engine.wall_feedback.observations("kset", backend="vectorized")
+            == 1
+        )
+        assert (
+            engine.wall_feedback.predict_seconds(
+                "kset", 32, backend="vectorized"
+            )
+            is not None
+        )
+
+
+class TestArrayForms:
+    def test_coalesce_groups_matches_scalar_coalesce(self):
+        cost = GpuCostModel(C1060)
+        rng = np.random.default_rng(7)
+        n_groups = 17
+        group_idx = rng.integers(0, n_groups, size=300)
+        addresses = rng.integers(0, 1 << 40, size=300)
+        widths = rng.choice([1, 4, 8, 15], size=300)
+        # A warp-group access applies one width to all lanes.
+        group_width = np.array(
+            [widths[group_idx == g][-1] if (group_idx == g).any() else 8
+             for g in range(n_groups)]
+        )
+        ntx = cost.coalesce_groups(
+            group_idx, addresses, group_width[group_idx], n_groups
+        )
+        for g in range(n_groups):
+            members = addresses[group_idx == g]
+            expected = cost.coalesce(list(members), int(group_width[g]))
+            assert ntx[g] == expected
+
+    def test_stable_group_runs(self):
+        keys = np.array([3, 1, 3, 2, 1, 3])
+        order, starts = PrimitiveLibrary.stable_group_runs(keys)
+        sorted_keys = keys[order]
+        assert list(sorted_keys) == [1, 1, 2, 3, 3, 3]
+        assert list(starts) == [0, 2, 3]
+        # Stability: equal keys keep original relative order.
+        assert list(order[:2]) == [1, 4]
