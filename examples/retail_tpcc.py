@@ -1,44 +1,59 @@
 """Retail scenario: TPC-C order processing on GPUTx.
 
 Demonstrates the full order lifecycle (new order -> payment -> order
-status -> delivery -> stock level) running as bulks, plus two effects
-specific to partitioned execution:
+status -> delivery -> stock level) running as bulks, plus three
+effects specific to this engine:
 
 * with the default single-partition workload, PART runs partition-
   parallel;
 * with remote payments/items enabled (the TPC-C spec's 15 % / 1 %),
   cross-partition transactions appear and PART falls back to TPL for
   the bulk -- the "severe degradation" of Section 5.2, visible in the
-  strategy name and the throughput drop.
+  strategy name and the throughput drop;
+* `EngineOptions(backend="vectorized")` swaps the per-thread
+  interpreter for batched NumPy column kernels: identical outcomes
+  and simulated clock, several times less host wall-clock on the
+  execution phase (every TPC-C type has a vector kernel -- see
+  docs/WORKLOADS.md).
 
 Run:  python examples/retail_tpcc.py
 """
 
-from repro import GPUTx
+import time
+
+from repro import EngineOptions, GPUTx
 from repro.workloads import tpcc
 
 WAREHOUSES = 8
 
 
-def build_db():
+def build_db(warehouses: int = WAREHOUSES):
     return tpcc.build_database(
-        WAREHOUSES, customers_per_district=40, n_items=200,
+        warehouses, customers_per_district=40, n_items=200,
         init_orders_per_district=10,
     )
 
 
-def run(specs, label: str) -> None:
-    engine = GPUTx(build_db(), procedures=tpcc.PROCEDURES)
+def run(specs, label: str, backend: str = "interpreted",
+        strategy: str = "part", warehouses: int = WAREHOUSES):
+    engine = GPUTx(
+        build_db(warehouses),
+        procedures=tpcc.PROCEDURES,
+        options=EngineOptions(backend=backend),
+    )
     engine.submit_many(specs)
-    report = engine.run_bulk(strategy="part")
+    start = time.perf_counter()
+    report = engine.run_bulk(strategy=strategy)
+    wall = time.perf_counter() - start
     mix = {}
     for result in report.results:
         mix[result.type_name] = mix.get(result.type_name, 0) + 1
     print(f"{label}:")
-    print(f"  strategy used : {report.strategy}")
-    print(f"  throughput    : {report.throughput_ktps:,.0f} ktps")
+    print(f"  strategy used : {report.strategy}  (backend: {report.backend})")
+    print(f"  throughput    : {report.throughput_ktps:,.0f} ktps (simulated)")
     print(f"  committed     : {report.committed}, aborted {report.aborted}")
     print(f"  mix           : { {k.replace('tpcc_', ''): v for k, v in sorted(mix.items())} }")
+    return report, wall, engine.backend.wall_launch_seconds
 
 
 def main() -> None:
@@ -51,6 +66,36 @@ def main() -> None:
         remote_payment_prob=0.15, remote_item_prob=0.01,
     )
     run(remote, "spec workload (15% remote payments, 1% remote items)")
+
+    # Backend selection: same bulk, both execution backends. The
+    # simulated clock and every outcome are byte-identical; only the
+    # host wall-clock differs. The vectorized win needs wide waves --
+    # here an order-entry burst (NewOrder-heavy) over 32 warehouses
+    # under K-SET; benchmarks/bench_workload_coverage.py gates >=4x
+    # at bulks >= 8k.
+    busy_db = build_db(warehouses=32)
+    burst = tpcc.generate_transactions(
+        busy_db, 4000, seed=5,
+        mix=[("tpcc_new_order", 90.0), ("tpcc_payment", 10.0)],
+    )
+    print("\nbackend comparison (order-entry burst, n=4000, kset):")
+    interp, wall_i, exec_i = run(
+        burst, "  interpreted", "interpreted", "kset", warehouses=32
+    )
+    print()
+    vector, wall_v, exec_v = run(
+        burst, "  vectorized", "vectorized", "kset", warehouses=32
+    )
+    assert vector.seconds == interp.seconds, "simulated clocks must match"
+    assert [r.value for r in vector.results] == [
+        r.value for r in interp.results
+    ], "outcomes must match"
+    print(f"\n  identical simulated clock ({interp.seconds * 1e3:.2f} ms) "
+          "and outcomes; host wall-clock:")
+    print(f"  exec phase  : {exec_i * 1e3:7.1f} ms -> {exec_v * 1e3:7.1f} ms "
+          f"({exec_i / exec_v:.1f}x)")
+    print(f"  end to end  : {wall_i * 1e3:7.1f} ms -> {wall_v * 1e3:7.1f} ms "
+          f"({wall_i / wall_v:.1f}x)")
 
     # Show the order pipeline actually moved goods: deliveries shrink
     # the NEW_ORDER table, new orders grow it.

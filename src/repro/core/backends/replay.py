@@ -251,31 +251,46 @@ def replay_kernel(
     gs = np.flatnonzero(np.isin(g_kind, _PLAIN_ISSUE_KINDS))
     np.add.at(issue, g_sm[gs], plain)
 
-    # Inserts and deletes: rare ops, small python loops over groups.
-    for g in np.flatnonzero(g_kind == op_ir.INSERT_ROW):
-        members = slice(g_start[g], g_end[g])
-        sm = int(g_sm[g])
-        per_table: Dict[str, int] = {}
-        for e in range(g_start[g], g_end[g]):
-            table = steps[s_step[e]].table
-            width = store.adapter.row_width(table)
-            ntx = (width + seg - 1) // seg
-            mem_tx[sm] += ntx
-            mem_bytes[sm] += ntx * seg
-            per_table[table] = per_table.get(table, 0) + 1
-        mem_instr[sm] += 1
-        issue[sm] += plain
-        for count in per_table.values():
-            if count > 1:
-                atomic_cycles[sm] += cost.atomic_serialization(count)
-                stats.atomic_conflicts += count - 1
-    for g in np.flatnonzero(g_kind == op_ir.DELETE_ROW):
-        size = int(g_end[g] - g_start[g])
-        sm = int(g_sm[g])
-        mem_tx[sm] += size
-        mem_bytes[sm] += size * seg
-        mem_instr[sm] += 1
-        issue[sm] += plain
+    # Inserts: per-event transaction charges from the row width of
+    # each event's step table (widths cached per table), per-group
+    # instruction charges, and the buffer-tail atomicAdd serialization
+    # per (group, table).
+    insert_gs = np.flatnonzero(g_kind == op_ir.INSERT_ROW)
+    if len(insert_gs):
+        width_cache: Dict[str, int] = {}
+        step_tids = np.full(len(steps), -1, dtype=np.int64)
+        tid_of: Dict[str, int] = {}
+        step_ntx = np.zeros(len(steps), dtype=np.int64)
+        for i, step in enumerate(steps):
+            if step.kind != op_ir.INSERT_ROW:
+                continue
+            width = width_cache.get(step.table)
+            if width is None:
+                width = width_cache[step.table] = store.adapter.row_width(
+                    step.table
+                )
+            step_ntx[i] = (width + seg - 1) // seg
+            step_tids[i] = tid_of.setdefault(step.table, len(tid_of))
+        es = np.flatnonzero(s_kind == op_ir.INSERT_ROW)
+        ntx_e = step_ntx[s_step[es]]
+        np.add.at(mem_tx, s_sm[es], ntx_e)
+        np.add.at(mem_bytes, s_sm[es], ntx_e * seg)
+        np.add.at(mem_instr, g_sm[insert_gs], 1)
+        np.add.at(issue, g_sm[insert_gs], plain)
+        # (group, table) -> member count; >1 serialises the atomicAdd.
+        pair = group_of_event[es] * len(tid_of) + step_tids[s_step[es]]
+        pairs, counts = np.unique(pair, return_counts=True)
+        for p, count in zip(pairs[counts > 1], counts[counts > 1]):
+            sm = int(g_sm[int(p) // len(tid_of)])
+            atomic_cycles[sm] += cost.atomic_serialization(int(count))
+            stats.atomic_conflicts += int(count) - 1
+    delete_gs = np.flatnonzero(g_kind == op_ir.DELETE_ROW)
+    if len(delete_gs):
+        sizes_g = g_end[delete_gs] - g_start[delete_gs]
+        np.add.at(mem_tx, g_sm[delete_gs], sizes_g)
+        np.add.at(mem_bytes, g_sm[delete_gs], sizes_g * seg)
+        np.add.at(mem_instr, g_sm[delete_gs], 1)
+        np.add.at(issue, g_sm[delete_gs], plain)
 
     # tolist() yields Python scalars, so downstream arithmetic (and
     # report equality checks) see the same types as the interpreter.
@@ -431,20 +446,53 @@ def _resolve_order_and_addresses(
             handle_row[handle] = predicted[table]
             predicted[table] += 1
         # Deletes resolve their target after every handle is known.
+
+    # Apply the mutations: consecutive inserts between deletes batch
+    # into one insert_bulk per table (the paper's post-kernel batched
+    # update). Per-table insert order -- the only order physical row
+    # ids and the redo stream depend on -- is the event order, and the
+    # flush before each delete keeps insert-before-delete ordering for
+    # rows staged and deleted in the same launch.
+    run_tables: List[str] = []
+    run_values: Dict[str, List[Tuple[Any, ...]]] = {}
+    run_rows: Dict[str, List[int]] = {}
+
+    def flush_inserts() -> None:
+        for table in run_tables:
+            rows = adapter.insert_bulk(table, run_values[table])
+            if rows != run_rows[table]:  # pragma: no cover - invariant
+                raise RuntimeError(
+                    "vectorized insert order diverged from prediction"
+                )
+        run_tables.clear()
+        run_values.clear()
+        run_rows.clear()
+
     for e in mut_events:
         if ev_kind[e] == op_ir.INSERT_ROW:
             handle = int(ev_payload[e]) - HANDLE_BASE
             table, values = store.pending_inserts[handle]
-            row = adapter.insert(table, values)
-            if row != handle_row[handle]:  # pragma: no cover - invariant
-                raise RuntimeError(
-                    "vectorized insert order diverged from prediction"
-                )
+            if table not in run_values:
+                run_tables.append(table)
+                run_values[table] = []
+                run_rows[table] = []
+            run_values[table].append(values)
+            run_rows[table].append(handle_row[handle])
         else:
+            flush_inserts()
             row_enc = int(ev_payload[e])
             if row_enc >= HANDLE_BASE:
                 row_enc = handle_row[row_enc - HANDLE_BASE]
             adapter.delete(recorder.steps[ev_step[e]].table, row_enc)
+    flush_inserts()
+
+    # Writes to rows staged by a same-launch insert, now that the
+    # rows exist. Staging order is per-cell program order (a staged
+    # row is only ever written by the lane whose partition owns it),
+    # and the adapter call keeps the redo stream's per-cell order:
+    # insert with original values first, then the write.
+    for table, column, handle, value in store.pending_handle_writes:
+        adapter.write(table, column, handle_row[handle], value)
 
     # Resolve deferred addresses with the per-event row counts.
     for i in deferred_steps:

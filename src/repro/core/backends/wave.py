@@ -23,9 +23,12 @@ Kernel-authoring contract (checked where cheap, documented here):
 * a lane must not read a cell it wrote earlier in the same wave
   (conflict-free waves make cross-lane reads of written cells
   impossible; same-lane re-reads are a kernel-authoring error);
-* a lane may read and delete rows staged by a same-wave insert (the
-  overlay resolves them), but must not *write* such rows -- that would
-  need deferred scatters and raises instead;
+* a lane may read, write, and delete rows staged by a same-wave insert
+  (the overlay resolves reads; writes stage as *handle writes* applied
+  by the replay after the insert materialises -- TPC-C's DELIVERY
+  writing an order a same-bulk NEW_ORDER created is the canonical
+  case). Handle writes must not target indexed columns: the
+  interpreter never re-indexes on write, and neither does the overlay;
 * inserts/deletes are staged in a :class:`WaveStore` overlay and
   applied to the real store in interpreter event order by the replay,
   so physical row ids are byte-identical to the interpreted backend.
@@ -96,6 +99,21 @@ class WaveStore:
         self.pending_inserts: List[Tuple[str, Tuple[Any, ...]]] = []
         #: (table, row-or-handle-encoded) staged deletes.
         self.pending_deletes: List[Tuple[str, int]] = []
+        #: Writes to rows staged by a same-launch insert, in staging
+        #: order: (table, column, handle, value). Applied by the replay
+        #: through the adapter after the insert materialises, so the
+        #: redo stream keeps the interpreter's per-cell order (insert
+        #: original values, then write).
+        self.pending_handle_writes: List[Tuple[str, str, int, Any]] = []
+        #: (handle, column index) -> latest staged value, for gathers.
+        self._handle_overrides: Dict[Tuple[int, int], Any] = {}
+        #: table -> [(index, column positions)] -- the per-row key
+        #: construction is the mutation-staging hot path.
+        self._index_info: Dict[str, List[Tuple[Any, Tuple[int, ...]]]] = {}
+        #: table -> staged handles whose index-overlay entries have not
+        #: been built yet. Folding is lazy: insert-only waves (the
+        #: common case) never pay for overlay keys nobody probes.
+        self._unfolded: Dict[str, List[int]] = {}
         # Probe overlays, populated lazily once a mutation is staged.
         self._unique_add: Dict[str, Dict[Any, int]] = {}
         self._unique_del: Dict[str, set] = {}
@@ -130,6 +148,7 @@ class WaveStore:
             return np.fromiter(
                 (mapping.get(k, -1) for k in keys), np.int64, len(keys)
             )
+        self._fold(ix.table)
         added = self._unique_add.get(index, {})
         removed = self._unique_del.get(index, set())
         out = np.empty(len(keys), np.int64)
@@ -148,6 +167,7 @@ class WaveStore:
         mapping = ix.mapping
         if not self._dirty:
             return [list(mapping.get(k, ())) for k in keys]
+        self._fold(ix.table)
         added = self._multi_add.get(index, {})
         removed = self._multi_del.get(index, {})
         out = []
@@ -201,51 +221,115 @@ class WaveStore:
         if out.dtype != object:
             out = out.copy()
         for i in np.flatnonzero(handles):
-            _, values = self.pending_inserts[int(rows_enc[i]) - HANDLE_BASE]
-            out[i] = values[col_idx]
+            handle = int(rows_enc[i]) - HANDLE_BASE
+            if (handle, col_idx) in self._handle_overrides:
+                out[i] = self._handle_overrides[(handle, col_idx)]
+            else:
+                _, values = self.pending_inserts[handle]
+                out[i] = values[col_idx]
         return out
 
     # -- mutation staging ------------------------------------------------
+    def _indexes_of(self, table: str) -> List[Tuple[Any, Tuple[int, ...]]]:
+        info = self._index_info.get(table)
+        if info is None:
+            schema = self.db.table(table).schema
+            info = self._index_info[table] = [
+                (ix, tuple(schema.column_index(c) for c in ix.columns))
+                for ix in self.db.indexes_on(table)
+            ]
+        return info
+
     def stage_insert(self, table: str, values: Tuple[Any, ...]) -> int:
         """Stage one insert; returns the encoded handle row."""
         handle = len(self.pending_inserts)
         self.pending_inserts.append((table, values))
-        enc = HANDLE_BASE + handle
         self._dirty = True
-        tbl = self.db.table(table)
-        for ix in self.db.indexes_on(table):
-            key = Database._key_from_values(tbl.schema, ix.columns, values)
-            if ix.unique:
-                self._unique_add.setdefault(ix.name, {})[key] = enc
-                self._unique_del.get(ix.name, set()).discard(key)
-            else:
-                self._multi_add.setdefault(ix.name, {}).setdefault(
-                    key, []
-                ).append(enc)
-        return enc
+        self._unfolded.setdefault(table, []).append(handle)
+        return HANDLE_BASE + handle
+
+    def _fold(self, table: str) -> None:
+        """Build the overlay index entries of ``table``'s staged
+        inserts, in staging order (called before any probe or staged
+        delete that could observe them)."""
+        pending = self._unfolded.get(table)
+        if not pending:
+            return
+        for handle in pending:
+            _, values = self.pending_inserts[handle]
+            enc = HANDLE_BASE + handle
+            for ix, cols in self._indexes_of(table):
+                key = (
+                    values[cols[0]]
+                    if len(cols) == 1
+                    else tuple(values[i] for i in cols)
+                )
+                if ix.unique:
+                    self._unique_add.setdefault(ix.name, {})[key] = enc
+                    self._unique_del.get(ix.name, set()).discard(key)
+                else:
+                    self._multi_add.setdefault(ix.name, {}).setdefault(
+                        key, []
+                    ).append(enc)
+        pending.clear()
+
+    def stage_handle_write(
+        self, table: str, column: str, handle: int, value: Any
+    ) -> None:
+        """Stage one write to a row a same-launch insert created.
+
+        The value becomes visible to later gathers of the handle row
+        immediately; the physical write is applied by the replay after
+        the insert materialises (per-cell order matches the
+        interpreter: insert first, then the write). Indexed columns
+        are rejected -- the interpreter never re-indexes on write, so
+        an indexed-column write would silently desynchronise probes.
+        """
+        for ix, _cols in self._indexes_of(table):
+            if column in ix.columns:
+                raise ValueError(
+                    f"vector kernels cannot write indexed column "
+                    f"{table}.{column} of a row inserted in the same "
+                    "wave"
+                )
+        col_idx = self.db.table(table).schema.column_index(column)
+        py = value.item() if isinstance(value, np.generic) else value
+        self.pending_handle_writes.append((table, column, handle, py))
+        self._handle_overrides[(handle, col_idx)] = py
 
     def stage_delete(self, table: str, row_enc: int) -> None:
         """Stage one delete of a real row or a staged insert's row."""
         self.pending_deletes.append((table, row_enc))
         self._dirty = True
+        self._fold(table)
         tbl = self.db.table(table)
-        if row_enc >= HANDLE_BASE:
-            _, values = self.pending_inserts[row_enc - HANDLE_BASE]
-            key_of = lambda ix: Database._key_from_values(  # noqa: E731
-                tbl.schema, ix.columns, values
-            )
-        else:
-            key_of = lambda ix: Database._key_of(  # noqa: E731
-                tbl, ix.columns, row_enc
-            )
-        for ix in self.db.indexes_on(table):
-            key = key_of(ix)
+        staged_values = (
+            self.pending_inserts[row_enc - HANDLE_BASE][1]
+            if row_enc >= HANDLE_BASE
+            else None
+        )
+        for ix, cols in self._indexes_of(table):
+            if staged_values is not None:
+                key = (
+                    staged_values[cols[0]]
+                    if len(cols) == 1
+                    else tuple(staged_values[i] for i in cols)
+                )
+            else:
+                key = Database._key_of(tbl, ix.columns, row_enc)
             if ix.unique:
                 added = self._unique_add.get(ix.name, {})
                 if added.get(key) == row_enc:
                     del added[key]
-                else:
-                    self._unique_del.setdefault(ix.name, set()).add(key)
+                # Whether the deleted row was staged or real, the key
+                # must read as absent afterwards. The del marker is
+                # needed even for a staged row: folding its insert
+                # discarded any marker left by an earlier real-row
+                # delete under the same key, and without restoring it
+                # the probe would fall through to the (stale) real
+                # mapping. Probes check added before removed, so the
+                # marker is always safe.
+                self._unique_del.setdefault(ix.name, set()).add(key)
             else:
                 extra = self._multi_add.get(ix.name, {}).get(key)
                 if extra and row_enc in extra:
@@ -458,22 +542,40 @@ class WaveContext:
         values: np.ndarray,
         mask: Optional[np.ndarray] = None,
     ) -> None:
-        """The conflict-masked scatter: only surviving lanes write."""
+        """The conflict-masked scatter: only surviving lanes write.
+
+        Rows staged by a same-launch insert (encoded handles) are
+        staged as handle writes instead of scattered -- the replay
+        applies them once the insert materialises.
+        """
         m = self._mask(mask)
         idx = np.flatnonzero(m)
         if len(idx) == 0:
             return
         rows_m = np.asarray(rows)[idx]
-        if rows_m.max() >= HANDLE_BASE:
-            # Writing a row staged by a same-wave insert would need
-            # deferred scatters; no workload does it, so fail loudly
-            # instead of corrupting the store (see module docstring).
-            raise ValueError(
-                "vector kernels cannot write rows inserted in the same "
-                "wave; split the type or leave it to the interpreter"
-            )
         values_m = np.asarray(values)[idx]
-        self.store.adapter.scatter_bulk(table, column, rows_m, values_m)
+        handles = rows_m >= HANDLE_BASE
+        if handles.any():
+            if table not in self.store.mutating_tables:
+                # A handle can only come from this launch's inserts,
+                # which all live in mutating tables -- anything else is
+                # a kernel-authoring bug.
+                raise ValueError(
+                    f"write of staged rows into non-mutating table "
+                    f"{table!r}"
+                )
+            for j in np.flatnonzero(handles):
+                self.store.stage_handle_write(
+                    table, column,
+                    int(rows_m[j]) - HANDLE_BASE, values_m[j],
+                )
+            real = ~handles
+            if real.any():
+                self.store.adapter.scatter_bulk(
+                    table, column, rows_m[real], values_m[real]
+                )
+        else:
+            self.store.adapter.scatter_bulk(table, column, rows_m, values_m)
         self._record_mem(op_ir.WRITE, m, table, column, rows_m)
 
     def _record_mem(

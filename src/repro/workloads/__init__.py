@@ -1,5 +1,7 @@
-"""Benchmark workloads: micro (Section 6.1), TM1, TPC-B, TPC-C (App. E)."""
+"""Benchmark workloads: micro (Section 6.1), TM1, TPC-B, TPC-C
+(App. E), and SmallBank (the contention-heavy YCSB-T-style addition).
+docs/WORKLOADS.md is the doctested catalog of all of them."""
 
-from repro.workloads import base, micro, tm1, tpcb, tpcc
+from repro.workloads import base, micro, smallbank, tm1, tpcb, tpcc
 
-__all__ = ["base", "micro", "tm1", "tpcb", "tpcc"]
+__all__ = ["base", "micro", "smallbank", "tm1", "tpcb", "tpcc"]

@@ -54,6 +54,33 @@ def skewed_first_item(
     return out.astype(np.int64)
 
 
+def zipfian_items(
+    rng: np.random.Generator, n_items: int, theta: float, size: int
+) -> np.ndarray:
+    """Zipfian-skewed item choice (the SmallBank/YCSB hot-set model).
+
+    Item ``i`` is drawn with probability proportional to
+    ``1 / (i + 1) ** theta``: item 0 is the hottest, popularity falls
+    off by rank. ``theta = 0`` is exactly uniform; the YCSB default is
+    ``theta ~= 0.99``; larger values concentrate the mass further and
+    deepen the T-dependency graph, like the paper's ``alpha`` model
+    (:func:`skewed_first_item`) but with a full popularity tail
+    instead of one hot item.
+    """
+    if theta < 0.0:
+        raise ValueError("theta must be >= 0")
+    if n_items < 1:
+        raise ValueError("need at least one item")
+    if theta == 0.0:
+        return rng.integers(0, n_items, size=size).astype(np.int64)
+    weights = 1.0 / np.power(
+        np.arange(1, n_items + 1, dtype=np.float64), theta
+    )
+    return rng.choice(
+        n_items, size=size, p=weights / weights.sum()
+    ).astype(np.int64)
+
+
 #: Rejection-sampling budget per pair before falling back to whatever
 #: was drawn last. With any balanced router the per-draw success
 #: probability is at least 1/n_shards, so 64 tries essentially never

@@ -92,6 +92,15 @@ _W_SLOT = 0
 _ITEMS_PER_W = 32
 _STOCK_BASE = 1 << 40
 _STOCK_W_SHIFT = 20  # up to 2^20 items per warehouse
+#: The per-warehouse stock *marker* slot (top of the i_id space, above
+#: any real item): STOCK_LEVEL's data-dependent stock reads cannot be
+#: enumerated from its parameters, so per Appendix B's worst-case rule
+#: it takes the marker as a WRITE while NEW_ORDER reads the marker of
+#: each supply warehouse. Every stock-level scan therefore orders
+#: against every new-order touching that warehouse's stock (and
+#: against other scans), while new-orders keep their row-granularity
+#: independence from each other.
+_STOCK_MARKER = (1 << _STOCK_W_SHIFT) - 1
 
 
 def _wd_item(w: int, d: int) -> int:
@@ -605,6 +614,300 @@ def _stock_level(w_id: int, d_id: int, threshold: int) -> op_ir.OpStream:
 
 
 # ---------------------------------------------------------------------------
+# Vectorized forms of the stored procedures (repro.core.backends).
+#
+# Each kernel executes a whole same-type wave as batched NumPy column
+# operations while recording, per lane, exactly the op sequence the
+# generator body above yields -- including the data-dependent parts
+# (per-order line counts, remote-stock branches, the stock-level
+# item-dedup set). Variable-length loops run as slot sweeps under
+# masks: every lane records its ops at its own per-lane op position,
+# so lanes at different loop depths stay in lockstep with the
+# interpreter's trace. Keep both forms in sync when editing either --
+# the backend-equivalence property suite diffs them.
+# ---------------------------------------------------------------------------
+def _key2(a: np.ndarray, b: np.ndarray) -> List[tuple]:
+    return list(zip(a.tolist(), b.tolist()))
+
+
+def _key3(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> List[tuple]:
+    return list(zip(a.tolist(), b.tolist(), c.tolist()))
+
+
+def _tuple_param_matrix(params_col, n: int):
+    """(lengths, padded int64 matrix) of a tuple-valued parameter."""
+    lens = np.fromiter((len(t) for t in params_col), np.int64, n)
+    width = int(lens.max()) if n else 0
+    mat = np.zeros((n, max(width, 1)), dtype=np.int64)
+    for i, values in enumerate(params_col):
+        mat[i, : len(values)] = values
+    return lens, mat
+
+
+def _ragged_rows(row_lists: List[List[int]], n: int):
+    """(lengths, padded matrix) of per-lane row-id lists (multi probes)."""
+    lens = np.fromiter((len(r) for r in row_lists), np.int64, n)
+    width = int(lens.max()) if n else 0
+    mat = np.zeros((n, max(width, 1)), dtype=np.int64)
+    for i, rows in enumerate(row_lists):
+        mat[i, : len(rows)] = rows
+    return lens, mat
+
+
+def _v_new_order(ctx) -> None:
+    w_id = ctx.param_i64(0)
+    d_id = ctx.param_i64(1)
+    c_id = ctx.param_i64(2)
+    ol_cnt, item_mat = _tuple_param_matrix(ctx.param_obj(3), ctx.n)
+    _, supply_mat = _tuple_param_matrix(ctx.param_obj(4), ctx.n)
+    _, qty_mat = _tuple_param_matrix(ctx.param_obj(5), ctx.n)
+    max_cnt = int(ol_cnt.max()) if ctx.n else 0
+
+    # Phase 1: validate every item id up front (H-Store rewrite); a
+    # lane aborts at its first invalid item, probing no further.
+    item_rows = np.zeros((ctx.n, max(max_cnt, 1)), dtype=np.int64)
+    for line in range(max_cnt):
+        m = ol_cnt > line
+        rows = ctx.index_probe("item_pk", item_mat[:, line], mask=m)
+        ctx.abort_where(m & (rows < 0), "invalid item id")
+        item_rows[:, line] = rows
+    w_row = ctx.index_probe("warehouse_pk", w_id)
+    w_tax = ctx.read(WAREHOUSE, "w_tax", w_row)
+    d_row = ctx.index_probe("district_pk", _key2(w_id, d_id))
+    d_tax = ctx.read(DISTRICT, "d_tax", d_row)
+    c_row = ctx.index_probe("customer_pk", _key3(w_id, d_id, c_id))
+    ctx.abort_where(c_row < 0, "no such customer")
+    discount = ctx.read(CUSTOMER, "c_discount", c_row)
+
+    # Phase 2: allocate the order id and write everything. Row tuples
+    # are built full-length with zip (C speed); ctx.insert only reads
+    # the masked lanes' entries.
+    o_id = ctx.read(DISTRICT, "d_next_o_id", d_row)
+    ctx.write(DISTRICT, "d_next_o_id", d_row, o_id + 1)
+    w_l, d_l, o_l = w_id.tolist(), d_id.tolist(), o_id.tolist()
+    zeros_l = [0] * ctx.n
+    ctx.insert(
+        ORDERS,
+        list(zip(w_l, d_l, o_l, c_id.tolist(), zeros_l, ol_cnt.tolist())),
+    )
+    ctx.insert(NEW_ORDER, list(zip(w_l, d_l, o_l)))
+    total = np.zeros(ctx.n)
+    for line in range(max_cnt):
+        m = ol_cnt > line
+        price = ctx.read(ITEM, "i_price", item_rows[:, line], mask=m)
+        s_row = ctx.index_probe(
+            "stock_pk", _key2(supply_mat[:, line], item_mat[:, line]), mask=m
+        )
+        qty = qty_mat[:, line]
+        s_qty = ctx.read(STOCK, "s_quantity", s_row, mask=m)
+        new_qty = np.where(s_qty - qty >= 10, s_qty - qty, s_qty - qty + 91)
+        ctx.write(STOCK, "s_quantity", s_row, new_qty, mask=m)
+        s_ytd = ctx.read(STOCK, "s_ytd", s_row, mask=m)
+        ctx.write(STOCK, "s_ytd", s_row, s_ytd + qty, mask=m)
+        s_cnt = ctx.read(STOCK, "s_order_cnt", s_row, mask=m)
+        ctx.write(STOCK, "s_order_cnt", s_row, s_cnt + 1, mask=m)
+        remote = m & (supply_mat[:, line] != w_id)
+        s_rem = ctx.read(STOCK, "s_remote_cnt", s_row, mask=remote)
+        ctx.write(STOCK, "s_remote_cnt", s_row, s_rem + 1, mask=remote)
+        amount = qty.astype(np.float64) * price
+        live = m & ctx.active
+        total = total + np.where(live, amount, 0.0)
+        ctx.insert(
+            ORDER_LINE,
+            list(zip(
+                w_l, d_l, o_l, [line + 1] * ctx.n,
+                item_mat[:, line].tolist(), supply_mat[:, line].tolist(),
+                qty_mat[:, line].tolist(), amount.tolist(), zeros_l,
+            )),
+            mask=m,
+        )
+    ctx.compute(8)  # tax arithmetic
+    result = total * (1.0 + w_tax + d_tax) * (1.0 - discount)
+    out: List[float] = [None] * ctx.n  # type: ignore[list-item]
+    for i in np.flatnonzero(ctx.active):
+        out[i] = float(result[i])
+    ctx.finish(out)
+
+
+def _v_payment(ctx) -> None:
+    w_id = ctx.param_i64(0)
+    d_id = ctx.param_i64(1)
+    c_w_id = ctx.param_i64(2)
+    c_d_id = ctx.param_i64(3)
+    c_id = ctx.param_i64(4)
+    amount = np.fromiter((float(p[5]) for p in ctx.params), np.float64, ctx.n)
+    c_row = ctx.index_probe("customer_pk", _key3(c_w_id, c_d_id, c_id))
+    ctx.abort_where(c_row < 0, "no such customer")
+    w_row = ctx.index_probe("warehouse_pk", w_id)
+    d_row = ctx.index_probe("district_pk", _key2(w_id, d_id))
+    w_ytd = ctx.read(WAREHOUSE, "w_ytd", w_row)
+    ctx.write(WAREHOUSE, "w_ytd", w_row, w_ytd + amount)
+    d_ytd = ctx.read(DISTRICT, "d_ytd", d_row)
+    ctx.write(DISTRICT, "d_ytd", d_row, d_ytd + amount)
+    balance = ctx.read(CUSTOMER, "c_balance", c_row)
+    ctx.write(CUSTOMER, "c_balance", c_row, balance - amount)
+    ytd_payment = ctx.read(CUSTOMER, "c_ytd_payment", c_row)
+    ctx.write(CUSTOMER, "c_ytd_payment", c_row, ytd_payment + amount)
+    pay_cnt = ctx.read(CUSTOMER, "c_payment_cnt", c_row)
+    ctx.write(CUSTOMER, "c_payment_cnt", c_row, pay_cnt + 1)
+    ctx.insert(
+        HISTORY,
+        list(zip(
+            c_w_id.tolist(), c_d_id.tolist(), c_id.tolist(),
+            w_id.tolist(), d_id.tolist(), amount.tolist(),
+        )),
+    )
+    out: List[float] = [None] * ctx.n  # type: ignore[list-item]
+    for i in np.flatnonzero(ctx.active):
+        out[i] = float(balance[i] - amount[i])
+    ctx.finish(out)
+
+
+def _v_customer_by_name(ctx) -> None:
+    w_id = ctx.param_i64(0)
+    d_id = ctx.param_i64(1)
+    c_last = ctx.param_obj(2)
+    keys = [
+        (int(w_id[i]), int(d_id[i]), c_last[i]) for i in range(ctx.n)
+    ]
+    rows = ctx.index_probe_multi("customer_name", keys)
+    empty = np.fromiter((len(r) == 0 for r in rows), bool, ctx.n)
+    ctx.abort_where(empty, "no customer with that name")
+    chosen = np.fromiter(
+        (r[len(r) // 2] if r else 0 for r in rows), np.int64, ctx.n
+    )
+    c_id = ctx.read(CUSTOMER, "c_id", chosen)
+    out: List[int] = [None] * ctx.n  # type: ignore[list-item]
+    for i in np.flatnonzero(ctx.active):
+        out[i] = int(c_id[i])
+    ctx.finish(out)
+
+
+def _v_order_status(ctx) -> None:
+    w_id = ctx.param_i64(0)
+    d_id = ctx.param_i64(1)
+    c_id = ctx.param_i64(2)
+    c_row = ctx.index_probe("customer_pk", _key3(w_id, d_id, c_id))
+    ctx.abort_where(c_row < 0, "no such customer")
+    balance = ctx.read(CUSTOMER, "c_balance", c_row)
+    order_rows = ctx.index_probe_multi(
+        "orders_by_customer", _key3(w_id, d_id, c_id)
+    )
+    empty = np.fromiter((len(r) == 0 for r in order_rows), bool, ctx.n)
+    ctx.abort_where(empty, "customer has no orders")
+    last = np.fromiter(
+        (r[-1] if r else 0 for r in order_rows), np.int64, ctx.n
+    )
+    o_id = ctx.read(ORDERS, "o_id", last)
+    carrier = ctx.read(ORDERS, "o_carrier_id", last)
+    line_lists = ctx.index_probe_multi(
+        "order_line_by_order", _key3(w_id, d_id, o_id)
+    )
+    n_lines, line_mat = _ragged_rows(line_lists, ctx.n)
+    total = np.zeros(ctx.n)
+    for slot in range(int(n_lines.max()) if ctx.n else 0):
+        m = n_lines > slot
+        amount = ctx.read(ORDER_LINE, "ol_amount", line_mat[:, slot], mask=m)
+        total = total + np.where(m & ctx.active, amount, 0.0)
+    out: List[tuple] = [None] * ctx.n  # type: ignore[list-item]
+    for i in np.flatnonzero(ctx.active):
+        out[i] = (
+            float(balance[i]), int(o_id[i]), int(carrier[i]),
+            float(total[i]),
+        )
+    ctx.finish(out)
+
+
+def _v_delivery(ctx) -> None:
+    w_id = ctx.param_i64(0)
+    d_id = ctx.param_i64(1)
+    carrier_id = ctx.param_i64(2)
+    no_lists = ctx.index_probe_multi(
+        "new_order_by_district", _key2(w_id, d_id)
+    )
+    empty = np.fromiter((len(r) == 0 for r in no_lists), bool, ctx.n)
+    ctx.abort_where(empty, "no undelivered order")
+    oldest = np.fromiter(
+        (r[0] if r else 0 for r in no_lists), np.int64, ctx.n
+    )
+    o_id = ctx.read(NEW_ORDER, "no_o_id", oldest)
+    o_row = ctx.index_probe("orders_pk", _key3(w_id, d_id, o_id))
+    c_id = ctx.read(ORDERS, "o_c_id", o_row)
+    line_lists = ctx.index_probe_multi(
+        "order_line_by_order", _key3(w_id, d_id, o_id)
+    )
+    n_lines, line_mat = _ragged_rows(line_lists, ctx.n)
+    # Phase 2: writes only. The delivered order may itself be a
+    # same-bulk NEW_ORDER insert (PART schedules), so the writes below
+    # may target staged rows -- the wave store's handle-write staging
+    # covers them.
+    ctx.delete(NEW_ORDER, oldest)
+    ctx.write(ORDERS, "o_carrier_id", o_row, carrier_id)
+    total = np.zeros(ctx.n)
+    for slot in range(int(n_lines.max()) if ctx.n else 0):
+        m = n_lines > slot
+        amount = ctx.read(ORDER_LINE, "ol_amount", line_mat[:, slot], mask=m)
+        total = total + np.where(m & ctx.active, amount, 0.0)
+        ctx.write(
+            ORDER_LINE, "ol_delivery_d", line_mat[:, slot],
+            np.ones(ctx.n, dtype=np.int64), mask=m,
+        )
+    c_row = ctx.index_probe("customer_pk", _key3(w_id, d_id, c_id))
+    c_balance = ctx.read(CUSTOMER, "c_balance", c_row)
+    ctx.write(CUSTOMER, "c_balance", c_row, c_balance + total)
+    del_cnt = ctx.read(CUSTOMER, "c_delivery_cnt", c_row)
+    ctx.write(CUSTOMER, "c_delivery_cnt", c_row, del_cnt + 1)
+    out: List[float] = [None] * ctx.n  # type: ignore[list-item]
+    for i in np.flatnonzero(ctx.active):
+        out[i] = float(total[i])
+    ctx.finish(out)
+
+
+def _v_stock_level(ctx) -> None:
+    w_id = ctx.param_i64(0)
+    d_id = ctx.param_i64(1)
+    threshold = ctx.param_i64(2)
+    d_row = ctx.index_probe("district_pk", _key2(w_id, d_id))
+    next_o_id = ctx.read(DISTRICT, "d_next_o_id", d_row)
+    lo = np.maximum(0, next_o_id - 20)
+    n_orders = next_o_id - lo
+    low = np.zeros(ctx.n, dtype=np.int64)
+    seen: List[set] = [set() for _ in range(ctx.n)]
+    max_orders = int(n_orders[ctx.active].max()) if ctx.active.any() else 0
+    for k in range(max_orders):
+        m = n_orders > k
+        o_k = lo + k
+        line_lists = ctx.index_probe_multi(
+            "order_line_by_order", _key3(w_id, d_id, o_k), mask=m
+        )
+        n_lines, line_mat = _ragged_rows(line_lists, ctx.n)
+        for slot in range(int(n_lines.max()) if ctx.n else 0):
+            mm = m & (n_lines > slot)
+            i_id = ctx.read(
+                ORDER_LINE, "ol_i_id", line_mat[:, slot], mask=mm
+            )
+            # The per-lane dedup set: repeated items skip the stock
+            # probe, exactly like the generator's `seen` check.
+            fresh = np.zeros(ctx.n, dtype=bool)
+            for i in np.flatnonzero(mm & ctx.active):
+                item = int(i_id[i])
+                if item not in seen[i]:
+                    seen[i].add(item)
+                    fresh[i] = True
+            s_row = ctx.index_probe(
+                "stock_pk", _key2(w_id, i_id), mask=fresh
+            )
+            qty = ctx.read(STOCK, "s_quantity", s_row, mask=fresh)
+            low = low + np.where(
+                fresh & ctx.active & (qty < threshold), 1, 0
+            )
+    out: List[int] = [None] * ctx.n  # type: ignore[list-item]
+    for i in np.flatnonzero(ctx.active):
+        out[i] = int(low[i])
+    ctx.finish(out)
+
+
+# ---------------------------------------------------------------------------
 # Access sets / partitions.
 # ---------------------------------------------------------------------------
 def _new_order_access(params) -> List[Access]:
@@ -613,6 +916,13 @@ def _new_order_access(params) -> List[Access]:
     accesses = [Access(_wd_item(w_id, d_id), write=True)]
     for i_id, supply_w in sorted(set(zip(item_ids, supply_ws))):
         accesses.append(Access(_stock_item(supply_w, i_id), write=True))
+    # Read the stock marker of every supply warehouse: orders this
+    # transaction against STOCK_LEVEL's coarse-granularity scan (which
+    # write-locks the marker) without coupling new-orders to each other.
+    for supply_w in sorted({int(w) for w in supply_ws}):
+        accesses.append(
+            Access(_stock_item(supply_w, _STOCK_MARKER), write=False)
+        )
     return accesses
 
 
@@ -640,12 +950,14 @@ def _stock_level_access(params) -> List[Access]:
     # parameters alone. Per Appendix B's worst-case rule ("if the
     # transaction conflicting relationship cannot be determined on the
     # data item level, we determine the conflict at a coarser
-    # granularity"), the read is recorded at warehouse-stock
-    # granularity.
+    # granularity"), the scan takes the warehouse's stock *marker* as
+    # a write so it orders against every NEW_ORDER (which reads the
+    # marker of each supply warehouse) instead of racing their
+    # per-item stock writes inside one conflict-"free" wave.
     w_id, d_id = params[0], params[1]
     return [
         Access(_wd_item(w_id, d_id), write=False),
-        Access(_stock_item(w_id, 0), write=False),
+        Access(_stock_item(w_id, _STOCK_MARKER), write=True),
     ]
 
 
@@ -670,6 +982,8 @@ PROCEDURES = [
         partition_fn=_make_partition_fn(_new_order_access),
         two_phase=True,
         conflict_classes=frozenset({WAREHOUSE, DISTRICT, CUSTOMER}) | _ORDER_TABLES,
+        vector_body=_v_new_order,
+        vector_inserts=frozenset({ORDERS, NEW_ORDER, ORDER_LINE}),
     ),
     TransactionType(
         name="tpcc_payment",
@@ -678,6 +992,8 @@ PROCEDURES = [
         partition_fn=_make_partition_fn(_payment_access),
         two_phase=True,
         conflict_classes=frozenset({WAREHOUSE, DISTRICT, CUSTOMER, HISTORY}),
+        vector_body=_v_payment,
+        vector_inserts=frozenset({HISTORY}),
     ),
     TransactionType(
         name="tpcc_customer_by_name",
@@ -686,6 +1002,7 @@ PROCEDURES = [
         partition_fn=_make_partition_fn(_lookup_access),
         two_phase=True,
         conflict_classes=frozenset({CUSTOMER}),
+        vector_body=_v_customer_by_name,
     ),
     TransactionType(
         name="tpcc_order_status",
@@ -694,6 +1011,7 @@ PROCEDURES = [
         partition_fn=_make_partition_fn(_order_status_access),
         two_phase=True,
         conflict_classes=frozenset({CUSTOMER, ORDERS, ORDER_LINE}),
+        vector_body=_v_order_status,
     ),
     TransactionType(
         name="tpcc_delivery",
@@ -702,6 +1020,7 @@ PROCEDURES = [
         partition_fn=_make_partition_fn(_delivery_access),
         two_phase=True,
         conflict_classes=frozenset({CUSTOMER}) | _ORDER_TABLES,
+        vector_body=_v_delivery,
     ),
     TransactionType(
         name="tpcc_stock_level",
@@ -710,6 +1029,7 @@ PROCEDURES = [
         partition_fn=_make_partition_fn(_stock_level_access),
         two_phase=True,
         conflict_classes=frozenset({DISTRICT, ORDER_LINE, STOCK}),
+        vector_body=_v_stock_level,
     ),
 ]
 

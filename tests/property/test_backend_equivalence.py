@@ -1,9 +1,11 @@
 """Property-based backend equivalence: interpreted vs. vectorized.
 
-For random micro and TM1 bulks -- including multi-round K-SET graphs
-with streaming deferrals, PART partition schedules, and the
-insert/delete-heavy TM1 mix -- the two execution backends must agree
-on *everything observable*: per-transaction outcomes (commit/abort,
+For random bulks over the whole workload suite -- micro, TM1, TPC-B,
+TPC-C, and SmallBank, including multi-round K-SET graphs with
+streaming deferrals, PART partition schedules, insert/delete-heavy
+mixes, and TPC-C schedules where DELIVERY consumes orders a same-bulk
+NEW_ORDER staged -- the two execution backends must agree on
+*everything observable*: per-transaction outcomes (commit/abort,
 reason, value), the deferral sets, the simulated clock, and the final
 ``Database.physical_state()`` (byte-identical stores, including
 physical row order of batched inserts).
@@ -13,10 +15,18 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import EngineOptions, GPUTx
-from repro.workloads import micro, tm1
+from repro.workloads import micro, smallbank, tm1, tpcb, tpcc
 
 N_TUPLES = 48
 TM1_SUBS = 40  # tiny subscriber pool -> plenty of conflicts per bulk
+TPCB_BRANCHES = 4
+TPCB_ACCOUNTS = 8
+TPCC_WAREHOUSES = 2
+TPCC_CUSTOMERS = 4
+TPCC_ITEMS = 16
+TPCC_INIT_ORDERS = 6  # only 2 undelivered/district: deliveries reach
+                      # same-bulk staged orders quickly
+SB_ACCOUNTS = 12
 
 
 def _micro_specs():
@@ -123,6 +133,107 @@ class TestMicroEquivalence:
         )
 
 
+def _tpcb_specs():
+    # Tellers and accounts are derived from the branch, like the real
+    # generator: TPC-B's conflict contract is root-relation locking on
+    # the branch id, which only covers a branch's *own* subtree. An
+    # out-of-range account exercises the abort path (it aborts before
+    # any write, so it races with nothing).
+    branch = st.integers(0, TPCB_BRANCHES - 1)
+    delta = st.integers(-500, 500).map(float)
+    txn = st.tuples(
+        branch,
+        st.integers(0, TPCB_ACCOUNTS - 1) | st.just(10_000),
+        st.integers(0, tpcb.TELLERS_PER_BRANCH - 1),
+        delta,
+    ).map(
+        lambda t: (
+            "tpcb_profile",
+            (
+                t[0] * TPCB_ACCOUNTS + t[1] if t[1] < 10_000 else 10_000,
+                t[0] * tpcb.TELLERS_PER_BRANCH + t[2],
+                t[0],
+                t[3],
+            ),
+        )
+    )
+    return st.lists(txn, min_size=1, max_size=50)
+
+
+def _tpcc_specs():
+    w = st.integers(0, TPCC_WAREHOUSES - 1)
+    d = st.integers(1, tpcc.DISTRICTS)
+    c = st.integers(0, TPCC_CUSTOMERS - 1)
+    item = st.integers(0, TPCC_ITEMS - 1)
+    # Each order line is (item id, supply warehouse, quantity); the
+    # out-of-range item exercises the phase-1 abort, remote supply
+    # warehouses exercise the remote-stock branch.
+    line = st.tuples(
+        st.one_of(item, st.just(TPCC_ITEMS + 99)), w, st.integers(1, 10)
+    )
+    new_order = st.tuples(
+        st.just("tpcc_new_order"),
+        st.tuples(w, d, c, st.lists(line, min_size=1, max_size=5)).map(
+            lambda t: (
+                t[0], t[1], t[2],
+                tuple(x[0] for x in t[3]),
+                tuple(x[1] for x in t[3]),
+                tuple(x[2] for x in t[3]),
+            )
+        ),
+    )
+    payment = st.tuples(
+        st.just("tpcc_payment"),
+        st.tuples(w, d, w, d, c, st.integers(1, 5000).map(float)),
+    )
+    by_name = st.tuples(
+        st.just("tpcc_customer_by_name"),
+        st.tuples(w, d, st.integers(0, 999).map(tpcc.tpcc_last_name)),
+    )
+    order_status = st.tuples(st.just("tpcc_order_status"), st.tuples(w, d, c))
+    delivery = st.tuples(
+        st.just("tpcc_delivery"), st.tuples(w, d, st.integers(1, 10))
+    )
+    stock_level = st.tuples(
+        st.just("tpcc_stock_level"), st.tuples(w, d, st.integers(10, 20))
+    )
+    return st.lists(
+        st.one_of(
+            new_order, payment, by_name, order_status, delivery, stock_level
+        ),
+        min_size=1,
+        max_size=30,
+    )
+
+
+def _smallbank_specs():
+    cust = st.one_of(st.integers(0, SB_ACCOUNTS - 1), st.just(4_000))
+    amount = st.integers(-150, 150).map(float)
+    pos_amount = st.integers(1, 120).map(float)
+    balance = st.tuples(st.just("smallbank_balance"), st.tuples(cust))
+    deposit = st.tuples(
+        st.just("smallbank_deposit_checking"),
+        st.tuples(cust, st.one_of(pos_amount, st.just(-5.0))),
+    )
+    transact = st.tuples(
+        st.just("smallbank_transact_savings"), st.tuples(cust, amount)
+    )
+    amalgamate = st.tuples(
+        st.just("smallbank_amalgamate"), st.tuples(cust, cust)
+    )
+    write_check = st.tuples(
+        st.just("smallbank_write_check"), st.tuples(cust, pos_amount)
+    )
+    send = st.tuples(
+        st.just("smallbank_send_payment"), st.tuples(cust, cust, pos_amount)
+    )
+    return st.lists(
+        st.one_of(balance, deposit, transact, amalgamate, write_check, send),
+        min_size=1,
+        max_size=50,
+    )
+
+
 class TestTm1Equivalence:
     @settings(max_examples=20, deadline=None)
     @given(specs=_tm1_specs())
@@ -154,4 +265,96 @@ class TestTm1Equivalence:
             specs,
             "kset",
             max_rounds=1,
+        )
+
+
+def _tpcb_db():
+    return tpcb.build_database(
+        TPCB_BRANCHES, accounts_per_branch=TPCB_ACCOUNTS
+    )
+
+
+class TestTpcbEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(specs=_tpcb_specs(), max_rounds=st.sampled_from([None, 1]))
+    def test_kset_with_streaming_deferrals(self, specs, max_rounds):
+        _assert_equivalent(
+            _tpcb_db, tpcb.PROCEDURES, specs, "kset", max_rounds=max_rounds
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=_tpcb_specs(), partition_size=st.sampled_from([1, 2]))
+    def test_part(self, specs, partition_size):
+        _assert_equivalent(
+            _tpcb_db, tpcb.PROCEDURES, specs, "part",
+            partition_size=partition_size,
+        )
+
+
+def _tpcc_db():
+    return tpcc.build_database(
+        TPCC_WAREHOUSES,
+        customers_per_district=TPCC_CUSTOMERS,
+        n_items=TPCC_ITEMS,
+        init_orders_per_district=TPCC_INIT_ORDERS,
+        seed=11,
+    )
+
+
+class TestTpccEquivalence:
+    """The full five-type suite plus the name-lookup split, including
+    PART schedules where DELIVERY deletes and writes orders that a
+    same-bulk NEW_ORDER staged (the handle-write path)."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=_tpcc_specs(), max_rounds=st.sampled_from([None, 1]))
+    def test_kset_with_streaming_deferrals(self, specs, max_rounds):
+        _assert_equivalent(
+            _tpcc_db, tpcc.PROCEDURES, specs, "kset", max_rounds=max_rounds
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(specs=_tpcc_specs(), partition_size=st.sampled_from([1, 8]))
+    def test_part(self, specs, partition_size):
+        _assert_equivalent(
+            _tpcc_db, tpcc.PROCEDURES, specs, "part",
+            partition_size=partition_size,
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(n_orders=st.integers(1, 4), n_deliveries=st.integers(1, 8))
+    def test_delivery_consumes_same_bulk_orders(
+        self, n_orders, n_deliveries
+    ):
+        """Deliveries outnumbering the initial undelivered orders must
+        reach orders staged by same-bulk NEW_ORDERs."""
+        specs = [
+            ("tpcc_new_order", (0, 1, k % TPCC_CUSTOMERS, (1, 2), (0, 0),
+                                (1, 1)))
+            for k in range(n_orders)
+        ]
+        specs += [("tpcc_delivery", (0, 1, 7))] * n_deliveries
+        specs.append(("tpcc_order_status", (0, 1, 0)))
+        _assert_equivalent(_tpcc_db, tpcc.PROCEDURES, specs, "part")
+
+
+def _smallbank_db():
+    return smallbank.build_database(1, accounts_per_sf=SB_ACCOUNTS, seed=2)
+
+
+class TestSmallBankEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(specs=_smallbank_specs(), max_rounds=st.sampled_from([None, 1]))
+    def test_kset_with_streaming_deferrals(self, specs, max_rounds):
+        _assert_equivalent(
+            _smallbank_db, smallbank.PROCEDURES, specs, "kset",
+            max_rounds=max_rounds,
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=_smallbank_specs(), partition_size=st.sampled_from([1, 4]))
+    def test_part(self, specs, partition_size):
+        _assert_equivalent(
+            _smallbank_db, smallbank.PROCEDURES, specs, "part",
+            partition_size=partition_size,
         )

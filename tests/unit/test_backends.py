@@ -160,6 +160,34 @@ class TestExactEquivalence:
         assert vector[2].backend.waves_vectorized > 0
         assert vector[2].backend.waves_interpreted == 0
 
+    def test_staged_delete_restores_real_row_shadow(self):
+        """Deleting a staged insert whose unique key shadows a
+        same-wave real-row delete must keep the key absent: the fold
+        of the staged insert discards the real row's del marker, and
+        the staged delete must restore it (a later probe would
+        otherwise resurrect the deleted real row and double-delete)."""
+        db0 = tm1.build_database(1, subscribers_per_sf=8, seed=3)
+        cf = db0.table("call_forwarding")
+        key = (
+            int(cf.read("s_id", 0)),
+            int(cf.read("sf_type", 0)),
+            int(cf.read("start_time", 0)),
+        )
+        specs = [
+            ("tm1_delete_call_forwarding", key),   # deletes the real row
+            ("tm1_insert_call_forwarding", key + (20, "x" * 15)),
+            ("tm1_delete_call_forwarding", key),   # deletes the staged row
+            ("tm1_delete_call_forwarding", key),   # must abort: key gone
+        ]
+        interp, vector = run_both(
+            lambda: tm1.build_database(1, subscribers_per_sf=8, seed=3),
+            tm1.PROCEDURES,
+            specs,
+            "part",
+        )
+        assert_identical(interp, vector)
+        assert not interp[1][0].results[3].committed
+
     @pytest.mark.parametrize("partition_size", [1, 8])
     def test_tm1_part_identical(self, partition_size):
         db0 = tm1.build_database(1, seed=3)

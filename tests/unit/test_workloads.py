@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.procedure import ProcedureRegistry
 from repro.core.tx_logging import validate_two_phase
-from repro.workloads import base, micro, tm1, tpcb, tpcc
+from repro.workloads import base, micro, smallbank, tm1, tpcb, tpcc
 
 
 class TestBaseHelpers:
@@ -244,3 +244,117 @@ class TestTpcc:
             if registry.get(name).partition_of(params) is None
         )
         assert crosses > 0
+
+
+class TestZipfian:
+    def test_theta_zero_is_uniform(self):
+        rng = base.make_rng(0)
+        items = base.zipfian_items(rng, 100, 0.0, 10_000)
+        assert (items == 0).mean() < 0.05
+
+    def test_skew_concentrates_on_low_ranks(self):
+        rng = base.make_rng(0)
+        items = base.zipfian_items(rng, 100, 1.2, 10_000)
+        hot = (items == 0).mean()
+        assert hot > 0.15
+        # Popularity falls off by rank.
+        counts = np.bincount(items, minlength=100)
+        assert counts[0] > counts[10] > counts[90]
+
+    def test_bounds_checked(self):
+        rng = base.make_rng(0)
+        with pytest.raises(ValueError):
+            base.zipfian_items(rng, 100, -0.1, 10)
+        with pytest.raises(ValueError):
+            base.zipfian_items(rng, 0, 0.5, 10)
+
+
+class TestSmallBank:
+    @pytest.fixture
+    def db(self):
+        return smallbank.build_database(1, accounts_per_sf=32, seed=2)
+
+    def test_schema_and_population(self, db):
+        n = db.table(smallbank.ACCOUNT).n_rows
+        assert n == 32
+        assert db.table(smallbank.SAVINGS).n_rows == n
+        assert db.table(smallbank.CHECKING).n_rows == n
+        assert db.index("sb_savings_pk").probe(5) >= 0
+        assert db.index("sb_checking_pk").probe(31) >= 0
+
+    def test_all_types_two_phase_with_vector_forms(self):
+        args = {
+            "smallbank_balance": (1,),
+            "smallbank_deposit_checking": (1, 10.0),
+            "smallbank_transact_savings": (1, 10.0),
+            "smallbank_amalgamate": (1, 2),
+            "smallbank_write_check": (1, 10.0),
+            "smallbank_send_payment": (1, 2, 10.0),
+        }
+        for proc in smallbank.PROCEDURES:
+            assert proc.two_phase
+            assert validate_two_phase(proc.body(*args[proc.name]), feed=0)
+            assert proc.vector_body is not None, proc.name
+
+    def test_generator_deterministic(self, db):
+        a = smallbank.generate_transactions(db, 300, seed=9, theta=0.9)
+        b = smallbank.generate_transactions(db, 300, seed=9, theta=0.9)
+        assert a == b
+        c = smallbank.generate_transactions(db, 300, seed=10, theta=0.9)
+        assert a != c
+
+    def test_generator_covers_all_types(self, db):
+        specs = smallbank.generate_transactions(db, 600, seed=3)
+        names = {name for name, _params in specs}
+        assert names == {t.name for t in smallbank.PROCEDURES}
+
+    def test_skew_deepens_conflicts(self, db):
+        registry = ProcedureRegistry()
+        registry.register_many(smallbank.PROCEDURES)
+
+        def hottest_item_share(theta):
+            specs = smallbank.generate_transactions(
+                db, 2_000, seed=5, theta=theta
+            )
+            counts = {}
+            for name, params in specs:
+                for access in registry.get(name).accesses(params):
+                    counts[access.item] = counts.get(access.item, 0) + 1
+            return max(counts.values()) / sum(counts.values())
+
+        assert hottest_item_share(1.2) > 3 * hottest_item_share(0.0)
+
+    def test_pair_types_cross_partition(self):
+        send = next(
+            t for t in smallbank.PROCEDURES
+            if t.name == "smallbank_send_payment"
+        )
+        assert send.partition_of((3, 3, 10.0)) == 3
+        assert send.partition_of((3, 4, 10.0)) is None
+
+    def test_definition1_matches_serial_oracle(self, db):
+        """Every strategy lands on the serial-by-timestamp state."""
+        from repro import GPUTx
+        from repro.core.txn import TransactionPool
+        from repro.cpu.engine import CpuEngine
+
+        specs = smallbank.generate_transactions(db, 250, seed=7, theta=1.0)
+
+        def serial_state():
+            oracle_db = smallbank.build_database(
+                1, accounts_per_sf=32, seed=2
+            )
+            cpu = CpuEngine(
+                oracle_db, procedures=smallbank.PROCEDURES, num_cores=1
+            )
+            pool = TransactionPool()
+            cpu.execute([pool.submit(n, p) for n, p in specs])
+            return oracle_db.logical_state()
+
+        expected = serial_state()
+        for strategy in ("kset", "part", "tpl", "adhoc"):
+            gpu_db = smallbank.build_database(1, accounts_per_sf=32, seed=2)
+            engine = GPUTx(gpu_db, procedures=smallbank.PROCEDURES)
+            engine.submit_many(specs)
+            engine.run_bulk(strategy=strategy)
+            assert gpu_db.logical_state() == expected, strategy
