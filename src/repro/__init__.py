@@ -59,6 +59,7 @@ from repro.serve import (
 )
 from repro.storage.catalog import Database, StoreAdapter
 from repro.storage.schema import ColumnDef, DataType, TableSchema
+from repro.telemetry import TelemetrySession
 
 __version__ = "1.0.0"
 
@@ -108,5 +109,13 @@ __all__ = [
     "ColumnDef",
     "DataType",
     "TableSchema",
+    "TelemetrySession",
     "__version__",
 ]
+
+# ``REPRO_TRACE=1`` traces any repro-importing process (examples,
+# benches, scripts) and writes a Chrome trace at exit -- no per-caller
+# wiring needed. A no-op unless the environment asks for it.
+from repro.telemetry import install_from_env as _telemetry_install_from_env
+
+_telemetry_install_from_env()

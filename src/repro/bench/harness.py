@@ -263,6 +263,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="run at full (non-smoke) workload sizes",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="TRACE_JSON",
+        default=None,
+        help="record the run's telemetry and write a Chrome/Perfetto "
+        "trace-event JSON here (plus <path>.metrics.json)",
+    )
     args = parser.parse_args(argv)
     if args.full:
         # A stale REPRO_BENCH_SMOKE from the shell would silently turn
@@ -270,7 +277,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ.pop("REPRO_BENCH_SMOKE", None)
     else:
         os.environ["REPRO_BENCH_SMOKE"] = "1"
-    headlines = collect_headlines(trajectory_figures())
+    if args.trace:
+        import repro.telemetry as telemetry
+
+        with telemetry.session() as tel:
+            headlines = collect_headlines(trajectory_figures())
+        trace_path = tel.write(args.trace)
+        metrics_path = telemetry.write_metrics(
+            f"{args.trace}.metrics.json", tel.metrics
+        )
+        print(f"wrote trace to {trace_path} and metrics to {metrics_path}")
+    else:
+        headlines = collect_headlines(trajectory_figures())
     path = write_bench_json(headlines, args.out)
     print(f"wrote {len(headlines)} headline metrics to {path}")
     return 0

@@ -32,6 +32,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import repro.telemetry as telemetry
 from repro.cluster.coordinator import CrossShardCoordinator, FailoverController
 from repro.cluster.durability.failover import (
     ClusterDurability,
@@ -330,34 +331,99 @@ class ClusterTx:
         if not transactions:
             return out
         self._bulk_seq += 1
-        if strategy == "auto" and options:
-            # Shard engines each filter the options for their own
-            # chosen strategy; dedup their drop warnings to one per
-            # bulk instead of one per shard sub-bulk.
-            with warnings.catch_warnings(record=True) as caught:
-                warnings.simplefilter("always")
+        session = telemetry.current()
+        bulk_span = None
+        prev_defaults = None
+        if session is not None:
+            tracer = session.tracer
+            prev_defaults = (tracer.track, tracer.layer, tracer.dma_track)
+            bulk_span = tracer.begin(
+                f"cluster_bulk-{self._bulk_seq}",
+                cat=telemetry.CAT_BULK,
+                track="cluster",
+                layer="cluster",
+                n_txns=len(transactions),
+                n_shards=self.n_shards,
+            )
+            # Cluster-layer phases (the critical path) default onto
+            # the cluster lane; shard sub-bulks repoint per shard.
+            tracer.track = "cluster"
+            tracer.layer = "cluster"
+            tracer.dma_track = "dma"
+        try:
+            if strategy == "auto" and options:
+                # Shard engines each filter the options for their own
+                # chosen strategy; dedup their drop warnings to one per
+                # bulk instead of one per shard sub-bulk.
+                with warnings.catch_warnings(record=True) as caught:
+                    warnings.simplefilter("always")
+                    self._run_waves(transactions, strategy, options, out)
+                seen = set()
+                for caught_warning in caught:
+                    key = (caught_warning.category, str(caught_warning.message))
+                    if key not in seen:
+                        seen.add(key)
+                        warnings.warn_explicit(
+                            caught_warning.message,
+                            caught_warning.category,
+                            caught_warning.filename,
+                            caught_warning.lineno,
+                        )
+            else:
                 self._run_waves(transactions, strategy, options, out)
-            seen = set()
-            for caught_warning in caught:
-                key = (caught_warning.category, str(caught_warning.message))
-                if key not in seen:
-                    seen.add(key)
-                    warnings.warn_explicit(
-                        caught_warning.message,
-                        caught_warning.category,
-                        caught_warning.filename,
-                        caught_warning.lineno,
-                    )
-        else:
-            self._run_waves(transactions, strategy, options, out)
-        if self.durability is not None:
-            self._durability_epilogue(out)
+            if self.durability is not None:
+                self._durability_epilogue(out)
+        finally:
+            if session is not None:
+                tracer = session.tracer
+                tracer.end(
+                    bulk_span,
+                    waves=len(out.waves),
+                    n_single_shard=out.n_single_shard,
+                    n_cross_shard=out.n_cross_shard,
+                    halted=out.halted,
+                    requeued=out.requeued,
+                    committed=out.committed,
+                    aborted=out.aborted,
+                )
+                tracer.track, tracer.layer, tracer.dma_track = prev_defaults
+                self._record_bulk_metrics(session, out)
         out.results.sort(key=lambda r: r.txn_id)
         self.results.record_many(out.results)
         if not self._dead:
             self._check_replicated_tables()
         self._sim_clock += out.seconds
         return out
+
+    def _record_bulk_metrics(
+        self,
+        session: "telemetry.TelemetrySession",
+        out: ClusterExecutionResult,
+    ) -> None:
+        """Cluster-level counters and gauges for one executed bulk."""
+        metrics = session.metrics
+        metrics.counter(
+            "cluster_bulks_executed", "bulks run through ClusterTx"
+        ).inc()
+        metrics.counter(
+            "cluster_waves_executed", "barrier-separated cluster waves"
+        ).inc(len(out.waves))
+        metrics.counter(
+            "cross_shard_txns", "transactions routed through the leader"
+        ).inc(out.n_cross_shard)
+        if out.requeued:
+            metrics.counter(
+                "cluster_requeued_txns",
+                "transactions requeued by halted or deferred waves",
+            ).inc(out.requeued)
+        if out.failovers:
+            metrics.counter(
+                "shard_failovers", "replica promotions performed"
+            ).inc(len(out.failovers))
+        for shard, busy in enumerate(out.shard_busy_s):
+            metrics.gauge(
+                "shard_busy_seconds", "per-shard busy time of the last bulk"
+            ).set(busy, shard=shard)
 
     def _durability_epilogue(self, out: ClusterExecutionResult) -> None:
         """Post-bulk durability work: auto failover, then checkpoints."""
@@ -378,6 +444,11 @@ class ClusterTx:
         )
         if checkpoint_wait > 0.0:
             out.breakdown.add(PHASE_CHECKPOINT, checkpoint_wait)
+            session = telemetry.current()
+            if session is not None:
+                session.tracer.phase(
+                    PHASE_CHECKPOINT, checkpoint_wait, track="dma"
+                )
 
     def _run_waves(
         self,
@@ -472,13 +543,41 @@ class ClusterTx:
             seconds=0.0,
             shards=tuple(sorted(by_shard)),
         )
+        session = telemetry.current()
+        wave_span = None
+        if session is not None:
+            wave_span = session.tracer.begin(
+                f"wave-{wave_index}",
+                cat=telemetry.CAT_WAVE,
+                kind="parallel",
+                size=len(wave_txns),
+                shards=sorted(by_shard),
+            )
         critical_breakdown: Optional[TimeBreakdown] = None
         any_deferred = False
         wal_wait = 0.0
         now = self._sim_clock + out.breakdown.total
         for shard, txns in sorted(by_shard.items()):
             engine = self.shards[shard]
-            result = engine.execute_bulk(txns, strategy=strategy, **dict(options))
+            if session is not None:
+                # Shard sub-bulks run in parallel: each one's engine
+                # emission lands on its own lane (including its DMA
+                # phases, which would interleave on a shared lane) and
+                # at the "shard" layer, leaving the wave cursor alone
+                # so every shard starts at the wave start.
+                tracer = session.tracer
+                tracer.track = tracer.dma_track = f"shard{shard}"
+                tracer.layer = "shard"
+            try:
+                result = engine.execute_bulk(
+                    txns, strategy=strategy, **dict(options)
+                )
+            finally:
+                if session is not None:
+                    tracer = session.tracer
+                    tracer.track = "cluster"
+                    tracer.layer = "cluster"
+                    tracer.dma_track = "dma"
             # Streaming strategies may defer work into the *shard*
             # pool; pull it back so it rejoins the cluster-wide order.
             leftovers = engine.pool.take()
@@ -512,8 +611,25 @@ class ClusterTx:
         if critical_breakdown is not None:
             for phase, seconds in critical_breakdown.phases.items():
                 out.breakdown.add(phase, seconds)
+                if session is not None:
+                    session.tracer.phase(
+                        phase,
+                        seconds,
+                        track=(
+                            "dma" if phase in telemetry.DMA_PHASES else None
+                        ),
+                    )
         if wal_wait > 0.0:
             out.breakdown.add(PHASE_WAL_SYNC, wal_wait)
+            if session is not None:
+                session.tracer.phase(PHASE_WAL_SYNC, wal_wait, track="dma")
+        if wave_span is not None:
+            session.tracer.end(
+                wave_span,
+                advance_parent=True,
+                strategies=wave.strategies,
+                deferred=any_deferred,
+            )
         out.n_single_shard += len(wave_txns)
         out.waves.append(wave)
         return any_deferred
@@ -526,10 +642,22 @@ class ClusterTx:
         bulk_id: int,
         wave_index: int,
     ) -> None:
+        session = telemetry.current()
+        wave_span = None
+        if session is not None:
+            wave_span = session.tracer.begin(
+                f"wave-{wave_index}",
+                cat=telemetry.CAT_WAVE,
+                kind="coordinator",
+                size=len(wave_txns),
+            )
         result = self.coordinator.execute(wave_txns)
         out.results.extend(result.results)
         out.breakdown.add(PHASE_COORDINATOR, result.exec_seconds)
         out.breakdown.add(PHASE_SYNC, result.sync_seconds)
+        if session is not None:
+            session.tracer.phase(PHASE_COORDINATOR, result.exec_seconds)
+            session.tracer.phase(PHASE_SYNC, result.sync_seconds, track="dma")
         if self.durability is not None:
             # The leader's writes landed on the touched shards' stores
             # (and in their recorders); every shard seals its share of
@@ -557,6 +685,16 @@ class ClusterTx:
                 )
             if wal_wait > 0.0:
                 out.breakdown.add(PHASE_WAL_SYNC, wal_wait)
+                if session is not None:
+                    session.tracer.phase(
+                        PHASE_WAL_SYNC, wal_wait, track="dma"
+                    )
+        if wave_span is not None:
+            session.tracer.end(
+                wave_span,
+                advance_parent=True,
+                shards=sorted(result.shards_touched),
+            )
         out.n_cross_shard += len(wave_txns)
         out.waves.append(
             WaveReport(
@@ -646,6 +784,50 @@ class ClusterTx:
             report.seconds += unit.reseed(
                 engine.db, self._bulk_seq - 1,
                 self._sim_clock + report.seconds,
+            )
+        session = telemetry.current()
+        if session is not None:
+            # One "recovery" phase span (whose seconds reconcile with
+            # the breakdown's recovery entry) wrapping the failover
+            # decomposition: checkpoint restore, WAL-suffix replay,
+            # and the redundancy-restoring reseed checkpoint.
+            tracer = session.tracer
+            rec = tracer.begin(
+                PHASE_RECOVERY,
+                cat=telemetry.CAT_PHASE,
+                track="cluster",
+                layer="cluster",
+                shard=shard,
+                replica_device=report.replica_device,
+                replayed_records=report.replayed_records,
+                verified=report.verified,
+            )
+            tracer.phase(
+                "checkpoint_restore",
+                report.restore_seconds,
+                cat=telemetry.CAT_SPAN,
+                track="dma",
+            )
+            tracer.phase(
+                "wal_replay",
+                report.replay_seconds,
+                cat=telemetry.CAT_SPAN,
+                track="dma",
+            )
+            reseed_seconds = report.seconds - (
+                report.restore_seconds + report.replay_seconds
+            )
+            if reseed_seconds > 0.0:
+                tracer.phase(
+                    "reseed_checkpoint",
+                    reseed_seconds,
+                    cat=telemetry.CAT_SPAN,
+                    track="dma",
+                )
+            tracer.end(
+                rec,
+                sim_end=rec.sim_start_s + report.seconds,
+                advance_parent=True,
             )
         return report
 

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Tuple
 import numpy as np
 
 from repro.gpu import ops as op_ir
-from repro.gpu.costmodel import KernelStats
+from repro.gpu.costmodel import KernelStats, with_perf_handicap
 from repro.gpu.simt import KernelReport, ThreadOutcome, warp_layout
 
 from repro.core.backends.wave import HANDLE_BASE, TraceRecorder, WaveStore
@@ -300,7 +300,7 @@ def replay_kernel(
     stats.mem_bytes = mem_bytes.tolist()
     stats.atomic_cycles = atomic_cycles.tolist()
 
-    timing = cost.resolve(stats)
+    timing = with_perf_handicap(cost.resolve(stats))
     return KernelReport(stats=stats, timing=timing, outcomes=outcomes)
 
 

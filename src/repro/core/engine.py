@@ -19,12 +19,12 @@ Typical use::
 
 from __future__ import annotations
 
-import os
 import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+import repro.telemetry as telemetry
 from repro.core.backends import EngineOptions, create_backend
 from repro.core.chooser import ChooserThresholds, StrategyFeedback, choose_strategy
 from repro.core.executor import ExecutionResult, StrategyExecutor
@@ -41,6 +41,9 @@ from repro.core.strategies.relaxed import (
 from repro.core.strategies.tpl import TplExecutor
 from repro.core.txn import ResultPool, Transaction, TransactionPool
 from repro.errors import ConfigError
+from repro.gpu.costmodel import PERF_HANDICAP_ENV  # noqa: F401  (re-export:
+# the perf-canary env knob historically lived here; the scaling now
+# happens at the kernel-timing source in repro.gpu.costmodel.)
 from repro.gpu.primitives import PrimitiveLibrary
 from repro.gpu.simt import SIMTEngine
 from repro.gpu.spec import C1060, GPUSpec
@@ -120,6 +123,8 @@ class GPUTx:
         #: (dedup is per engine, not per process -- see _filter_options).
         self._warned_options: Set[Tuple[str, Tuple[str, ...]]] = set()
         self._initialized = False
+        #: Bulks traced so far (names the per-bulk telemetry spans).
+        self._bulk_count = 0
 
     # ------------------------------------------------------------------
     # Registration and submission.
@@ -274,13 +279,101 @@ class GPUTx:
             result.wall_seconds,
             backend=result.backend,
         )
-        _apply_perf_handicap(result)
         if profile_seconds:
             result.breakdown.add("profiling", profile_seconds)
         self.results.record_many(result.results)
         if result.deferred:
             self.pool.requeue(result.deferred)
+        session = telemetry.current()
+        if session is not None:
+            self._trace_bulk(session, result, len(transactions))
         return result
+
+    def _trace_bulk(
+        self,
+        session: "telemetry.TelemetrySession",
+        result: ExecutionResult,
+        n_txns: int,
+    ) -> None:
+        """Emit the life-of-a-bulk span tree and metrics for ``result``.
+
+        The tree is laid out purely from the result's breakdown (the
+        simulated decomposition), so tracing observes the engine
+        without perturbing it: phase spans sum to ``result.seconds``
+        per layer, and wave spans tile the execution phase in kernel
+        order. DMA-borne phases land on the ``dma`` track.
+        """
+        tracer = session.tracer
+        self._bulk_count += 1
+        bulk = tracer.begin(
+            f"bulk-{self._bulk_count}",
+            cat=telemetry.CAT_BULK,
+            n_txns=n_txns,
+            strategy=result.strategy,
+            backend=result.backend,
+            committed=result.committed,
+            aborted=result.aborted,
+            deferred=len(result.deferred),
+        )
+        from repro.core.executor import PHASE_EXECUTION
+
+        for phase, seconds in result.breakdown.phases.items():
+            track = tracer.dma_track if phase in telemetry.DMA_PHASES else None
+            if phase != PHASE_EXECUTION or not result.kernel_reports:
+                tracer.phase(phase, seconds, track=track)
+                continue
+            # The execution phase opens a sub-tree: one wave span per
+            # kernel launch, clamped inside the phase so float
+            # accumulation can never push a child past its parent.
+            exec_span = tracer.begin(phase, cat=telemetry.CAT_PHASE)
+            exec_end = exec_span.sim_start_s + seconds
+            for w, rep in enumerate(result.kernel_reports):
+                dur = max(0.0, min(rep.seconds, exec_end - exec_span.cursor))
+                tracer.phase(
+                    f"wave-{w}",
+                    dur,
+                    cat=telemetry.CAT_WAVE,
+                    strategy=result.strategy,
+                    backend=result.backend,
+                    threads=rep.stats.threads_launched,
+                    aborted=rep.aborted_count,
+                    rounds=rep.stats.rounds,
+                    atomic_conflicts=rep.stats.atomic_conflicts,
+                    bound=rep.timing.bound,
+                )
+            tracer.end(exec_span, sim_end=exec_end, advance_parent=True)
+        tracer.end(bulk, waves=len(result.kernel_reports))
+
+        metrics = session.metrics
+        metrics.counter(
+            "bulks_executed", "bulks run through GPUTx.execute_bulk"
+        ).inc(strategy=result.strategy, backend=result.backend)
+        metrics.counter(
+            "waves_executed", "kernel launches (waves)"
+        ).inc(len(result.kernel_reports), strategy=result.strategy,
+              backend=result.backend)
+        metrics.counter("txns_committed", "committed transactions").inc(
+            result.committed
+        )
+        metrics.counter("txns_aborted", "aborted transactions").inc(
+            result.aborted
+        )
+        if result.deferred:
+            metrics.counter(
+                "txns_deferred", "transactions requeued by streaming K-SET"
+            ).inc(len(result.deferred))
+        if n_txns and result.strategy.startswith("kset"):
+            metrics.gauge(
+                "kset_conflict_rate",
+                "deferred share of the last K-SET bulk",
+            ).set(len(result.deferred) / n_txns)
+        metrics.histogram(
+            "bulk_sim_seconds", "simulated seconds per bulk"
+        ).observe(result.seconds, strategy=result.strategy)
+        metrics.histogram(
+            "bulk_wall_seconds", "host wall seconds per bulk"
+        ).observe(result.wall_seconds, strategy=result.strategy,
+                  backend=result.backend)
 
     # ------------------------------------------------------------------
     # Response time vs. throughput simulation (Figures 9, 15).
@@ -352,28 +445,6 @@ def _empty_breakdown():
     from repro.gpu.costmodel import TimeBreakdown
 
     return TimeBreakdown()
-
-
-#: Perf-canary hook: ``REPRO_PERF_HANDICAP=<factor>`` multiplies the
-#: simulated execution phase of every bulk. The CI perf-trajectory
-#: lane uses it to prove the regression gate actually fires (a 2x
-#: handicap must turn ``scripts/bench_compare.py`` red); it must never
-#: be set in normal runs.
-PERF_HANDICAP_ENV = "REPRO_PERF_HANDICAP"
-
-
-def _apply_perf_handicap(result: ExecutionResult) -> None:
-    raw = os.environ.get(PERF_HANDICAP_ENV)
-    if not raw:
-        return
-    factor = float(raw)
-    if factor <= 1.0:
-        return
-    from repro.core.executor import PHASE_EXECUTION
-
-    exec_s = result.breakdown.phases.get(PHASE_EXECUTION, 0.0)
-    if exec_s > 0.0:
-        result.breakdown.add(PHASE_EXECUTION, exec_s * (factor - 1.0))
 
 
 #: Options each strategy's executor accepts (beyond the shared ones).

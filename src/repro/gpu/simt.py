@@ -32,7 +32,12 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import DeadlockError, ExecutionError, KernelTimeoutError
 from repro.gpu import ops as op_ir
 from repro.gpu.atomics import CounterSpace, LockTable
-from repro.gpu.costmodel import GpuCostModel, KernelStats, KernelTiming
+from repro.gpu.costmodel import (
+    GpuCostModel,
+    KernelStats,
+    KernelTiming,
+    with_perf_handicap,
+)
 from repro.gpu.memory import DeviceStore
 from repro.gpu.spec import C1060, GPUSpec
 
@@ -244,7 +249,7 @@ class SIMTEngine:
 
         stats.rounds = rounds
         stats.threads_aborted = sum(1 for t in threads if t.aborted)
-        timing = self.cost.resolve(stats)
+        timing = with_perf_handicap(self.cost.resolve(stats))
         return KernelReport(
             stats=stats, timing=timing, outcomes=[t.outcome() for t in threads]
         )
@@ -609,12 +614,14 @@ class SIMTEngine:
         extra = spec.kernel_launch_overhead_s * (
             launches if per_task_launch_overhead else 1
         )
-        timing = KernelTiming(
-            cycles=cycles,
-            seconds=spec.seconds(cycles) + extra,
-            issue_cycles=issue,
-            memory_cycles=mem_cycles,
-            atomic_cycles=0.0,
-            bound="memory" if mem_cycles > issue else "compute",
+        timing = with_perf_handicap(
+            KernelTiming(
+                cycles=cycles,
+                seconds=spec.seconds(cycles) + extra,
+                issue_cycles=issue,
+                memory_cycles=mem_cycles,
+                atomic_cycles=0.0,
+                bound="memory" if mem_cycles > issue else "compute",
+            )
         )
         return KernelReport(stats=stats, timing=timing, outcomes=outcomes)

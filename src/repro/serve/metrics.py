@@ -9,14 +9,27 @@ transfer. The server aggregates these into a :class:`LatencySummary`
 is the admission-to-bulk-start share (the bulk former's knob),
 execution and transfer are the engine-side shares every transaction of
 a bulk pays together.
+
+Percentile math is the telemetry layer's single shared implementation
+(:func:`repro.telemetry.metrics.percentile` via
+:class:`~repro.telemetry.metrics.Histogram`), so the serving report
+and a trace's metrics snapshot can never disagree about what "p95"
+means.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from repro.gpu.costmodel import TimeBreakdown
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.metrics import percentile as percentile  # noqa: PLC0414
+# (re-export: this module's ``percentile`` is, and must remain, the
+# telemetry registry's -- one definition of a percentile repo-wide.)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing
+    from repro.serve.admission import AdmissionStats
 
 #: Breakdown phases that ride the interconnect rather than the device.
 TRANSFER_PHASES = frozenset(
@@ -60,22 +73,6 @@ class TxnLatency:
         raise KeyError(name)
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (``q`` in [0, 100])."""
-    if not values:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError("q must be within [0, 100]")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (len(ordered) - 1) * q / 100.0
-    lo = int(rank)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = rank - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
-
-
 @dataclass(frozen=True)
 class Percentiles:
     """Summary of one latency component (seconds)."""
@@ -88,31 +85,58 @@ class Percentiles:
 
     @classmethod
     def of(cls, values: Sequence[float]) -> "Percentiles":
-        if not values:
-            return cls(0.0, 0.0, 0.0, 0.0, 0.0)
+        """Summarise ``values`` through the shared telemetry histogram."""
+        histogram = Histogram()
+        for value in values:
+            histogram.observe(value)
+        summary = histogram.summary()
         return cls(
-            mean=sum(values) / len(values),
-            p50=percentile(values, 50.0),
-            p95=percentile(values, 95.0),
-            p99=percentile(values, 99.0),
-            max=max(values),
+            mean=summary["mean"],
+            p50=summary["p50"],
+            p95=summary["p95"],
+            p99=summary["p99"],
+            max=summary["max"],
         )
 
 
 @dataclass
 class LatencySummary:
-    """Per-component percentiles over every executed transaction."""
+    """Per-component percentiles over every executed transaction.
+
+    Also surfaces what the percentiles *exclude*: arrivals shed by
+    admission control never execute, so a latency distribution quoted
+    without its shed count can look better under overload, not worse.
+    """
 
     count: int
     components: Dict[str, Percentiles] = field(default_factory=dict)
+    #: Arrivals rejected by admission control (never executed, so
+    #: absent from every percentile above).
+    shed: int = 0
+    #: The shed count split by the home shard whose queue was full.
+    shed_by_shard: Dict[int, int] = field(default_factory=dict)
 
     @classmethod
-    def of(cls, latencies: Sequence[TxnLatency]) -> "LatencySummary":
+    def of(
+        cls,
+        latencies: Sequence[TxnLatency],
+        admission: "Optional[AdmissionStats]" = None,
+    ) -> "LatencySummary":
         components = {
             name: Percentiles.of([lat.component(name) for lat in latencies])
             for name in (QUEUE, EXECUTION, TRANSFER, TOTAL)
         }
-        return cls(count=len(latencies), components=components)
+        summary = cls(count=len(latencies), components=components)
+        if admission is not None:
+            summary.shed = admission.rejected
+            summary.shed_by_shard = dict(admission.rejected_by_shard)
+        return summary
+
+    @property
+    def shed_rate(self) -> float:
+        """Shed arrivals as a share of everything that asked to run."""
+        asked = self.count + self.shed
+        return self.shed / asked if asked else 0.0
 
     def __getitem__(self, name: str) -> Percentiles:
         return self.components[name]

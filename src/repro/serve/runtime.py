@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+import repro.telemetry as telemetry
 from repro.core.engine import validate_strategy_options
 from repro.core.txn import Transaction
 from repro.errors import ServeError
@@ -140,6 +141,17 @@ class ServeRuntime:
             shards = getattr(engine, "shards", None)
             if shards:
                 self.thresholds = shards[0].thresholds
+        # Telemetry bookkeeping: the serve lane's layout cursor (so
+        # forming spans never overlap the previous bulk), the origin
+        # this runtime's stream clock is anchored at (several serve
+        # runs sharing one session must not rewind the lane), the
+        # per-bulk span counter, and the admission counters already
+        # reported.
+        self._trace_cursor = 0.0
+        self._trace_origin: Optional[float] = None
+        self._trace_bulk_n = 0
+        self._trace_prev_offered = 0
+        self._trace_prev_rejected = 0
 
     # ------------------------------------------------------------------
     def _admit_until(self, stream: ArrivalStream, clock: float) -> None:
@@ -194,9 +206,31 @@ class ServeRuntime:
             start = max(clock, gpu_free)
             self._admit_until(stream, start)
             batch = pool.take(target)
-            result = self.engine.execute_bulk(
-                batch, strategy=self.strategy, **dict(self.options)
-            )
+            session = telemetry.current()
+            serve_span = None
+            result = None
+            if session is not None:
+                serve_span = self._trace_bulk_open(
+                    session, batch, start, target
+                )
+            try:
+                result = self.engine.execute_bulk(
+                    batch, strategy=self.strategy, **dict(self.options)
+                )
+            finally:
+                if serve_span is not None:
+                    done = result is not None
+                    bulk_end = (self._trace_origin or 0.0) + start + (
+                        result.seconds if done else 0.0
+                    )
+                    session.tracer.end(
+                        serve_span,
+                        sim_end=bulk_end,
+                        strategy=result.strategy if done else "",
+                        executed=len(result.results) if done else 0,
+                    )
+                    self._trace_cursor = bulk_end
+                    self._trace_bulk_metrics(session, batch, start)
             finish = start + result.seconds
             executed_ids = {r.txn_id for r in result.results}
             if not executed_ids and finish <= start:
@@ -219,11 +253,98 @@ class ServeRuntime:
             last_finish = finish
             gpu_free = finish
             clock = finish
-        report.latency = LatencySummary.of(latencies)
+        report.latency = LatencySummary.of(
+            latencies, admission=self.admission.stats
+        )
         report.admission = self.admission.stats
         if first_submit is not None:
             report.elapsed_s = max(last_finish - first_submit, 1e-12)
         return report
+
+    # ------------------------------------------------------------------
+    def _trace_bulk_open(
+        self,
+        session: "telemetry.TelemetrySession",
+        batch: List[Transaction],
+        start: float,
+        target: int,
+    ) -> "telemetry.Span":
+        """Open the serve-layer span for one dispatched bulk.
+
+        The serve lane shows, per bulk, a ``forming`` span (the window
+        in which the bulk queued and filled, clamped at the previous
+        dispatch so lane timestamps stay monotone -- the *full*
+        per-transaction wait is carried in tags and the queue-wait
+        histogram) followed by the ``serve_bulk`` span the engine's
+        own emission nests under.
+        """
+        tracer = session.tracer
+        self._trace_bulk_n += 1
+        if self._trace_origin is None:
+            self._trace_origin = tracer.sim_now
+            self._trace_cursor = self._trace_origin
+        origin = self._trace_origin
+        oldest = min((t.submit_time for t in batch), default=start)
+        form_start = min(max(self._trace_cursor, origin + oldest),
+                         origin + start)
+        if origin + start > form_start:
+            tracer.complete(
+                "forming",
+                form_start,
+                origin + start,
+                cat=telemetry.CAT_PHASE,
+                track="serve",
+                layer="serve",
+                queued=len(batch),
+            )
+        self._trace_cursor = origin + start
+        return tracer.begin(
+            f"serve_bulk-{self._trace_bulk_n}",
+            cat=telemetry.CAT_BULK,
+            track="serve",
+            layer="serve",
+            sim_start=origin + start,
+            size=len(batch),
+            target=target,
+            queue_wait_s=start - oldest,
+        )
+
+    def _trace_bulk_metrics(
+        self,
+        session: "telemetry.TelemetrySession",
+        batch: List[Transaction],
+        start: float,
+    ) -> None:
+        """Serve-layer metrics after one dispatched bulk."""
+        metrics = session.metrics
+        stats = self.admission.stats
+        offered = stats.offered - self._trace_prev_offered
+        if offered:
+            metrics.counter(
+                "admission_offered", "arrivals offered to admission"
+            ).inc(offered)
+        shed = stats.rejected - self._trace_prev_rejected
+        if shed:
+            metrics.counter(
+                "admission_sheds", "arrivals rejected by admission control"
+            ).inc(shed)
+        self._trace_prev_offered = stats.offered
+        self._trace_prev_rejected = stats.rejected
+        metrics.gauge(
+            "serve_queue_depth", "pool depth after the bulk was cut"
+        ).set(len(self.engine.pool))
+        metrics.gauge(
+            "admission_high_water", "deepest queue admission has seen"
+        ).set(stats.high_water)
+        for shard, depth in sorted(self.admission._shard_depth.items()):
+            metrics.gauge(
+                "shard_queue_depth", "queued transactions per home shard"
+            ).set(depth, shard=shard)
+        wait_hist = metrics.histogram(
+            "queue_wait_seconds", "admission-to-dispatch wait per txn"
+        )
+        for txn in batch:
+            wait_hist.observe(start - txn.submit_time)
 
     # ------------------------------------------------------------------
     def _record_bulk(

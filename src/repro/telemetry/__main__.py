@@ -1,0 +1,6 @@
+"""CLI entry: ``python -m repro.telemetry report|validate <trace>``."""
+
+from repro.telemetry.report import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,217 @@
+"""Chrome trace-event export, schema validation, metrics snapshots.
+
+The exporter emits the `Chrome trace-event format`_ (the JSON-object
+flavour: ``{"traceEvents": [...]}``) so a trace loads directly in
+Perfetto or ``chrome://tracing``. Spans become matched ``B``/``E``
+duration events on the **simulated** clock (microsecond timestamps --
+the paper's unit); each track (per-shard lanes, the DMA lane, the
+serving lane) becomes its own named thread, and wall-clock timings
+ride along in ``args``.
+
+:func:`validate_chrome_trace` is the schema check the CI bench-smoke
+lane runs on an emitted artifact: well-formed events, per-track
+monotone timestamps, and strictly matched ``B``/``E`` pairs.
+
+.. _Chrome trace-event format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.trace import Span, Tracer
+
+#: Process id every simulated-clock track lives under.
+SIM_PID = 1
+
+#: Largest per-track timestamp regression the exporter smooths away,
+#: in microseconds (1 ns). Adjacent spans whose boundaries are equal
+#: modulo float association order -- a bulk opening exactly where the
+#: previous one closed, each side summed in a different order -- can
+#: land a few ulps apart after the second->microsecond conversion.
+#: Anything larger is a real instrumentation bug and is deliberately
+#: left in place for :func:`validate_chrome_trace` to flag.
+TS_CLAMP_US = 1e-3
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in sorted(value, key=repr)] \
+            if isinstance(value, (set, frozenset)) else [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def to_chrome_trace(
+    tracer: Tracer, metrics: Optional[MetricsRegistry] = None
+) -> Dict[str, Any]:
+    """Render a tracer's span tree as a Chrome trace-event object.
+
+    Events are emitted track by track in tree order (depth-first over
+    each root), which keeps every track's ``B``/``E`` stream sorted
+    and properly nested -- the invariant
+    :func:`validate_chrome_trace` asserts.
+    """
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in tracer.spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda s: (s.sim_start_s, s.span_id))
+
+    track_events: Dict[str, List[Dict[str, Any]]] = {}
+    track_order: List[str] = []
+
+    def _events_for(span: Span) -> None:
+        if span.track not in track_events:
+            track_events[span.track] = []
+            track_order.append(span.track)
+        out = track_events[span.track]
+        sim_end = span.sim_end_s
+        if sim_end is None:  # still open: close at its layout cursor
+            sim_end = max(span.cursor, span.sim_start_s)
+        args = {str(k): _jsonable(v) for k, v in span.tags.items()}
+        args["layer"] = span.layer
+        args["wall_ms"] = round(span.wall_duration_s * 1e3, 6)
+        base = {
+            "pid": SIM_PID,
+            "name": span.name,
+            "cat": span.cat,
+        }
+        out.append({**base, "ph": "B", "ts": span.sim_start_s * 1e6,
+                    "args": args})
+        for child in children.get(span.span_id, []):
+            _events_for(child)
+        out.append({**base, "ph": "E", "ts": max(sim_end, span.sim_start_s) * 1e6})
+
+    for root in children.get(None, []):
+        _events_for(root)
+
+    events: List[Dict[str, Any]] = [
+        {
+            "ph": "M", "name": "process_name", "pid": SIM_PID, "ts": 0,
+            "args": {"name": "repro simulated clock"},
+        }
+    ]
+    for tid, track in enumerate(track_order, start=1):
+        events.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": SIM_PID,
+                "tid": tid, "ts": 0, "args": {"name": track},
+            }
+        )
+    for tid, track in enumerate(track_order, start=1):
+        last_ts = 0.0
+        for event in track_events[track]:
+            event["tid"] = tid
+            ts = event["ts"]
+            if 0.0 < last_ts - ts <= TS_CLAMP_US:
+                event["ts"] = ts = last_ts
+            if ts > last_ts:
+                last_ts = ts
+            events.append(event)
+    trace: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "source": "repro.telemetry"},
+    }
+    if metrics is not None:
+        trace["otherData"]["metrics"] = metrics.snapshot()
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Validation (the CI trace-schema gate).
+# ---------------------------------------------------------------------------
+def validate_chrome_trace(trace: Any) -> List[str]:
+    """Schema-check a Chrome trace-event object; returns problems.
+
+    Checks: the container shape, per-event required fields, per-track
+    timestamp monotonicity, and matched/properly nested ``B``/``E``
+    pairs. An empty list means the trace is well-formed.
+    """
+    problems: List[str] = []
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        return ["trace must be an object with a 'traceEvents' list"]
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    stacks: Dict[Any, List[Dict[str, Any]]] = {}
+    last_ts: Dict[Any, float] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("B", "E", "M", "X", "i", "C"):
+            problems.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        if ph == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts != ts or ts < 0:
+            problems.append(f"event {i}: bad ts {ts!r}")
+            continue
+        if "pid" not in event or "tid" not in event:
+            problems.append(f"event {i}: missing pid/tid")
+            continue
+        key = (event["pid"], event["tid"])
+        if ts < last_ts.get(key, 0.0):
+            problems.append(
+                f"event {i}: ts {ts} goes backwards on track {key}"
+            )
+        last_ts[key] = ts
+        if ph == "B":
+            if not event.get("name"):
+                problems.append(f"event {i}: B event without a name")
+            stacks.setdefault(key, []).append(event)
+        elif ph == "E":
+            stack = stacks.setdefault(key, [])
+            if not stack:
+                problems.append(f"event {i}: E without a matching B")
+                continue
+            opener = stack.pop()
+            name = event.get("name")
+            if name is not None and name != opener.get("name"):
+                problems.append(
+                    f"event {i}: E named {name!r} closes B named "
+                    f"{opener.get('name')!r}"
+                )
+    for key, stack in stacks.items():
+        if stack:
+            names = [e.get("name") for e in stack]
+            problems.append(f"track {key}: unclosed B events {names}")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# File helpers.
+# ---------------------------------------------------------------------------
+def write_trace(
+    path: str, tracer: Tracer, metrics: Optional[MetricsRegistry] = None
+) -> str:
+    """Write the Chrome trace JSON; returns the path."""
+    trace = to_chrome_trace(tracer, metrics)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def write_metrics(path: str, metrics: MetricsRegistry) -> str:
+    """Write the metrics snapshot JSON; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(metrics.snapshot(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_trace(path: str) -> Dict[str, Any]:
+    """Read a trace JSON file back."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,217 @@
+"""Cross-layer metrics registry: counters, gauges, exact histograms.
+
+One :class:`MetricsRegistry` per telemetry session; every layer
+(engine, cluster, durability, serve) records into it under stable
+metric names with free-form labels (``waves_executed{strategy,
+backend}``, ``admission_sheds``, ``shard_queue_depth{shard}``,
+``wal_bytes`` ...). The registry is plain dictionaries -- zero
+dependencies, deterministic snapshots.
+
+The :class:`Histogram` here is *the* percentile implementation of the
+repository: it keeps every observation (these are simulation-scale
+series, thousands of points, not production firehoses) and computes
+linear-interpolation percentiles exactly.
+:mod:`repro.serve.metrics`' ``LatencySummary`` is built on it, so the
+serving layer's p50/p95/p99 and a trace's metrics snapshot can never
+disagree about what a percentile means.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]).
+
+    The single shared implementation -- ``repro.serve.metrics``
+    re-exports it and :class:`Histogram` delegates to it.
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def _label_key(labels: Dict[str, Any]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class _Metric:
+    """Shared naming/label plumbing of the three metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+
+    def _check_amount(self, value: Any) -> float:
+        number = float(value)
+        if number != number:  # NaN guard
+            raise ValueError(f"{self.name}: NaN is not a valid observation")
+        return number
+
+
+class Counter(_Metric):
+    """Monotone event counter, optionally labelled."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._series: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        amount = self._check_amount(amount)
+        if amount < 0:
+            raise ValueError(f"{self.name}: counters only move forward")
+        key = _label_key(labels)
+        self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    @property
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._series.values())
+
+    def series(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Gauge(_Metric):
+    """Point-in-time value (queue depth, conflict rate, ...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        super().__init__(name, help)
+        self._series: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        self._series[_label_key(labels)] = self._check_amount(value)
+
+    def value(self, **labels: Any) -> float:
+        return self._series.get(_label_key(labels), 0.0)
+
+    def series(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._series.items())
+        ]
+
+
+class Histogram(_Metric):
+    """Exact-sample histogram with shared percentile math."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str = "", help: str = "") -> None:
+        super().__init__(name, help)
+        self._series: Dict[LabelKey, List[float]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        self._series.setdefault(_label_key(labels), []).append(
+            self._check_amount(value)
+        )
+
+    def values(self, **labels: Any) -> List[float]:
+        return list(self._series.get(_label_key(labels), []))
+
+    def count(self, **labels: Any) -> int:
+        return len(self._series.get(_label_key(labels), []))
+
+    def percentile(self, q: float, **labels: Any) -> float:
+        return percentile(self._series.get(_label_key(labels), []), q)
+
+    def summary(self, **labels: Any) -> Dict[str, float]:
+        """``mean/p50/p95/p99/max`` plus ``count`` and ``sum``.
+
+        Empty series summarise to zeros -- the same convention
+        ``LatencySummary`` always used.
+        """
+        values = self._series.get(_label_key(labels), [])
+        if not values:
+            return {
+                "count": 0, "sum": 0.0, "mean": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0,
+            }
+        return {
+            "count": len(values),
+            "sum": sum(values),
+            "mean": sum(values) / len(values),
+            "p50": percentile(values, 50.0),
+            "p95": percentile(values, 95.0),
+            "p99": percentile(values, 99.0),
+            "max": max(values),
+        }
+
+    def series(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), **self.summary(**dict(key))}
+            for key in sorted(self._series)
+        ]
+
+
+class MetricsRegistry:
+    """Get-or-create registry keyed by metric name."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get(self, cls, name: str, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get(Histogram, name, help)
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able snapshot of every metric, sorted and stable."""
+        out: Dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            bucket = {
+                "counter": "counters",
+                "gauge": "gauges",
+                "histogram": "histograms",
+            }[metric.kind]
+            out[bucket][name] = {
+                "help": metric.help,
+                "series": metric.series(),  # type: ignore[attr-defined]
+            }
+        return out

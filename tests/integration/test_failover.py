@@ -103,6 +103,20 @@ class TestAcceptanceTM1:
         # The promoted replica was diffed byte-identical against the
         # shard's last durable state.
         assert report.verified
+        # Recovery time decomposes into checkpoint restore plus WAL
+        # suffix replay; the remainder is the reseeding checkpoint's
+        # transfer. Both parts are visible so a trace can attribute
+        # recovery latency to the right mechanism.
+        assert report.restore_seconds > 0.0
+        assert report.replay_seconds >= 0.0
+        if report.replayed_records:
+            assert report.replay_seconds > 0.0
+        else:
+            assert report.replay_seconds == 0.0
+        assert (
+            report.restore_seconds + report.replay_seconds
+            <= report.seconds + 1e-12
+        )
 
         # Final store state: identical to the uninterrupted run, down
         # to physical row order per shard, and to the serial oracle.

@@ -1,0 +1,110 @@
+"""Property: telemetry only observes, it never participates.
+
+For random TM1 bulks on either backend and either strategy, running
+with a telemetry session installed must leave *everything observable*
+byte-identical to running without one: per-transaction outcomes
+(commit/abort, reason, value), the deferral sets, the simulated clock
+of every bulk, and the final ``Database.physical_state()``. A tracer
+that perturbed the clock -- say by rounding through microseconds, or
+by charging an extra phase -- would break the paper's reproduced
+figures silently; this property pins it to pure observation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.telemetry as telemetry
+from repro import EngineOptions, GPUTx
+from repro.workloads import tm1
+
+TM1_SUBS = 40
+
+
+def _tm1_specs():
+    s_id = st.integers(0, TM1_SUBS - 1)
+    sf = st.integers(1, 4)
+    start = st.sampled_from([0, 8, 16])
+    txn = st.one_of(
+        st.tuples(st.just("tm1_get_subscriber_data"), st.tuples(s_id)),
+        st.tuples(
+            st.just("tm1_update_subscriber_data"),
+            st.tuples(s_id, st.booleans(), sf, st.integers(0, 255)),
+        ),
+        st.tuples(
+            st.just("tm1_update_location"),
+            st.tuples(s_id, st.integers(1, 1 << 20)),
+        ),
+        st.tuples(
+            st.just("tm1_insert_call_forwarding"),
+            st.tuples(s_id, sf, start, st.integers(1, 24), st.just("x" * 15)),
+        ),
+        st.tuples(
+            st.just("tm1_delete_call_forwarding"), st.tuples(s_id, sf, start)
+        ),
+    )
+    return st.lists(txn, min_size=1, max_size=40)
+
+
+def _run(specs, backend, strategy, traced, **options):
+    db = tm1.build_database(1, subscribers_per_sf=TM1_SUBS, seed=3)
+    engine = GPUTx(
+        db, procedures=tm1.PROCEDURES, options=EngineOptions(backend=backend)
+    )
+    engine.submit_many(specs)
+
+    def _drain():
+        bulks = [engine.run_bulk(strategy=strategy, **options)]
+        while len(engine.pool):
+            bulks.append(engine.run_bulk(strategy=strategy, **options))
+        return bulks
+
+    if traced:
+        with telemetry.session() as tel:
+            bulks = _drain()
+        # The session must actually have observed the run.
+        assert tel.tracer.spans
+        assert telemetry.validate_chrome_trace(tel.trace()) == []
+    else:
+        bulks = _drain()
+    observable = [
+        (
+            [(r.txn_id, r.committed, r.abort_reason, r.value)
+             for r in b.results],
+            sorted(t.txn_id for t in b.deferred),
+            b.seconds,
+            b.breakdown.phases,
+        )
+        for b in bulks
+    ]
+    return db.physical_state(), observable
+
+
+def _assert_transparent(specs, backend, strategy, **options):
+    state_off, obs_off = _run(specs, backend, strategy, False, **options)
+    state_on, obs_on = _run(specs, backend, strategy, True, **options)
+    assert obs_on == obs_off
+    assert state_on == state_off
+
+
+class TestTracingTransparency:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        specs=_tm1_specs(),
+        backend=st.sampled_from(["interpreted", "vectorized"]),
+        max_rounds=st.sampled_from([None, 1]),
+    )
+    def test_kset(self, specs, backend, max_rounds):
+        _assert_transparent(
+            specs, backend, "kset", max_rounds=max_rounds
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        specs=_tm1_specs(),
+        backend=st.sampled_from(["interpreted", "vectorized"]),
+        partition_size=st.sampled_from([1, 8]),
+    )
+    def test_part(self, specs, backend, partition_size):
+        _assert_transparent(
+            specs, backend, "part", partition_size=partition_size
+        )
