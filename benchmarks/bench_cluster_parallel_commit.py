@@ -1,0 +1,20 @@
+"""Parallel cross-shard commit: grouped leader/follower vs. serial leader.
+
+Run: pytest benchmarks/bench_cluster_parallel_commit.py --benchmark-only -q
+The reproduced series are printed and saved to benchmarks/results/.
+"""
+
+from repro.bench.cluster import cluster_parallel_commit
+
+
+def test_cluster_parallel_commit(figure_runner):
+    result = figure_runner(cluster_parallel_commit)
+    cross_ktps = result.column("cross_ktps")
+    cross_speedup = result.column("cross_speedup")
+    # The grouped commit's cross-shard throughput scales with shard
+    # count instead of flatlining behind the serial leader...
+    assert all(b > a for a, b in zip(cross_ktps, cross_ktps[1:]))
+    # ...and at 8 shards it beats the serial-leader baseline >= 2x.
+    assert cross_speedup[-1] >= 2.0
+    # It never loses to the serial leader at any shard count.
+    assert all(s >= 1.0 for s in cross_speedup)

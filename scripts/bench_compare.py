@@ -31,6 +31,26 @@ from typing import Any, Dict
 
 DEFAULT_BASELINE = "benchmarks/baselines/BENCH_baseline.json"
 DEFAULT_THRESHOLD = 0.25
+#: Baselines at or below this magnitude are treated as zero: a metric
+#: legitimately at (or within float noise of) 0 -- a shed rate, an
+#: overhead share -- has no meaningful *relative* delta, and dividing
+#: by it would either crash (exactly 0) or turn a negligible absolute
+#: change into a million-percent swing (denormal baselines).
+ZERO_BASELINE_EPS = 1e-12
+
+
+def relative_delta(base_value: float, cur_value: float) -> float:
+    """Higher-is-better relative change, defined for zero baselines.
+
+    For a zero/near-zero baseline the row cannot regress relative to
+    nothing: any current value at or above the baseline reports 0.0,
+    and a drop below it reports -1.0 (a full regression, so the gate
+    still fires if a figure somehow falls below an already-zero
+    baseline).
+    """
+    if abs(base_value) <= ZERO_BASELINE_EPS:
+        return 0.0 if cur_value >= base_value else -1.0
+    return (cur_value - base_value) / base_value
 
 
 def load_payload(path: str) -> Dict[str, Any]:
@@ -96,10 +116,7 @@ def compare(
             )
             continue
         cur_value = float(current[figure]["value"])
-        if base_value > 0:
-            delta = (cur_value - base_value) / base_value
-        else:
-            delta = 0.0 if cur_value >= base_value else -1.0
+        delta = relative_delta(base_value, cur_value)
         verdict = f"{delta:+8.1%}"
         if delta < -threshold:
             failures += 1

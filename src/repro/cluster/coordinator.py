@@ -1,33 +1,49 @@
 """The leader pass for cross-shard transactions.
 
 Following DiPETrans's leader/follower split, transactions whose access
-set spans several shards are not farmed out to shard engines: the
-*leader* (host CPU) quiesces the shards they touch and executes them
-itself, serially, in timestamp order. Serial execution in timestamp
-order is trivially Definition-1 equivalent, and because the parallel
-shard waves before and after the leader pass are barrier-separated,
-the whole bulk remains equivalent to a serial run.
+set spans several shards are not farmed out to shard engines as
+independent work: the *leader* (host CPU) quiesces the shards they
+touch and drives the wave itself. Two commit paths share one
+interpreter:
 
-Two pieces live here:
+* **serial** (:meth:`CrossShardCoordinator.execute`) -- the original
+  leader pass: every transaction interpreted on the host, serially,
+  in timestamp order, the wave's cost being the *sum* of the
+  transactions' cycles. Serial execution in timestamp order is
+  trivially Definition-1 equivalent; it remains the equivalence
+  oracle and the fallback mode.
+* **parallel** (:meth:`CrossShardCoordinator.execute_parallel`) -- the
+  DiPETrans protocol proper: the leader statically conflict-partitions
+  the wave into independent *groups* (connected components of the
+  conflict graph, built from the same access declarations the TDG /
+  K-SET extractor uses), serialises one signature batch per group
+  over its interconnect, and the groups execute on their home shards
+  in parallel -- the wave's cost is the *max* over the shard lanes,
+  not the sum. Groups are mutually conflict-free, so any interleaving
+  of them is Definition-1 equivalent; the simulation interprets the
+  wave in timestamp order (exactly the serial pass), which keeps
+  outcomes, redo capture and per-shard physical state byte-identical
+  to the serial oracle while the simulated clock models the
+  follower-parallel schedule.
+
+Two pieces live here besides the coordinator:
 
 * :class:`ClusterStoreAdapter` -- a DeviceStore-protocol view that
   spans every shard: index probes fan out across the shards' rebuilt
   indexes, and row handles are *encoded* as ``shard * stride + local``
   so later reads/writes route back to the owning shard.
-* :class:`CrossShardCoordinator` -- the serial interpreter (mirroring
-  :class:`~repro.cpu.engine.CpuEngine`'s) plus its cost accounting:
-  leader cycles via :class:`~repro.cpu.costmodel.CpuCostModel`, and a
-  per-wave synchronisation charge (gather + release round trip over
-  the interconnect) for the shards the wave quiesces.
+* :class:`FailoverController` / :class:`KillOrder` -- failure
+  injection at wave boundaries plus recovery orchestration.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.cluster.durability.failover import RecoveryReport
 from repro.core.procedure import ProcedureRegistry
+from repro.core.tdg import TDependencyGraph
 from repro.core.txn import Transaction, TxnResult
 from repro.cpu.costmodel import CpuCostModel
 from repro.cluster.router import ShardRouter
@@ -138,20 +154,46 @@ class ClusterStoreAdapter:
             adapter.apply_batch()
 
 
+@dataclass(frozen=True)
+class GroupReport:
+    """One independent conflict group of a parallel coordinator wave.
+
+    ``start_s``/``seconds`` position the group's execution on its home
+    shard's lane, measured from the wave start: the group starts once
+    the leader has serialised its dispatch batch *and* the lane is
+    free, mirroring how the telemetry layer draws it.
+    """
+
+    index: int
+    home: int
+    size: int
+    shards: Tuple[int, ...]
+    start_s: float
+    seconds: float
+    txn_lo: int
+    txn_hi: int
+
+
 @dataclass
 class CoordinatorResult:
     """Outcome and timing of one leader wave."""
 
     results: List[TxnResult] = field(default_factory=list)
-    #: Leader execution time (serial interpretation on the host CPU).
+    #: Execution time: the serial host interpretation (serial mode) or
+    #: the makespan of the follower lanes net of dispatch (parallel).
     exec_seconds: float = 0.0
     #: Quiesce/release round trips for the shards this wave touched.
     sync_seconds: float = 0.0
+    #: Leader-side serialisation of the per-group signature batches
+    #: (zero for the serial leader, which dispatches nothing).
+    dispatch_seconds: float = 0.0
     shards_touched: Tuple[int, ...] = ()
+    #: Conflict groups of a parallel wave (empty for the serial pass).
+    groups: List[GroupReport] = field(default_factory=list)
 
     @property
     def seconds(self) -> float:
-        return self.exec_seconds + self.sync_seconds
+        return self.exec_seconds + self.dispatch_seconds + self.sync_seconds
 
 
 @dataclass(frozen=True)
@@ -228,7 +270,7 @@ class FailoverController:
 
 
 class CrossShardCoordinator:
-    """Serial leader executor for cross-shard transactions."""
+    """Leader executor for cross-shard transactions (serial + grouped)."""
 
     def __init__(
         self,
@@ -238,6 +280,7 @@ class CrossShardCoordinator:
         *,
         cpu_spec: CPUSpec = XEON_E5520,
         sync_latency_s: float = 0.0,
+        dispatch_bytes_per_s: float = 3.4e9,
     ) -> None:
         self.registry = registry
         self.router = router
@@ -246,23 +289,37 @@ class CrossShardCoordinator:
         #: One-way latency of a leader<->shard control message; a wave
         #: pays a gather and a release hop (the quiesce barrier).
         self.sync_latency_s = sync_latency_s
+        #: Leader NIC bandwidth for group dispatch batches: the leader
+        #: serialises one signature batch per group, so dispatch time
+        #: is bytes-proportional and independent of the shard count.
+        self.dispatch_bytes_per_s = dispatch_bytes_per_s
 
     # ------------------------------------------------------------------
-    def execute(
+    def _interpret(
         self, transactions: Sequence[Transaction]
-    ) -> CoordinatorResult:
-        """Run one wave serially, in timestamp order."""
-        out = CoordinatorResult()
-        if not transactions:
-            return out
-        cycles = 0.0
-        touched: set = set()
-        for txn in sorted(transactions, key=lambda t: t.txn_id):
+    ) -> Tuple[
+        List[Transaction],
+        List[TxnResult],
+        List[float],
+        "List[frozenset[int]]",
+    ]:
+        """Interpret one wave in timestamp order, one txn at a time.
+
+        Shared by both commit paths so their outcomes, store mutations
+        and redo capture are identical by construction. Returns the
+        timestamp-sorted transactions plus parallel lists of results,
+        per-transaction cycles (dispatch included) and shard sets.
+        """
+        order = sorted(transactions, key=lambda t: t.txn_id)
+        results: List[TxnResult] = []
+        cycles: List[float] = []
+        shard_sets: "List[frozenset[int]]" = []
+        for txn in order:
             txn_type = self.registry.get(txn.type_name)
-            touched |= self.router.shards_of(txn_type, txn.params)
+            shard_sets.append(self.router.shards_of(txn_type, txn.params))
             txn_cycles, committed, reason, value = self._run_one(txn)
-            cycles += txn_cycles + self.cost.dispatch()
-            out.results.append(
+            cycles.append(txn_cycles + self.cost.dispatch())
+            results.append(
                 TxnResult(
                     txn_id=txn.txn_id,
                     type_name=txn.type_name,
@@ -272,7 +329,138 @@ class CrossShardCoordinator:
                 )
             )
         self.adapter.apply_batch()
-        out.exec_seconds = self.cost.seconds(cycles)
+        return order, results, cycles, shard_sets
+
+    # ------------------------------------------------------------------
+    def execute(
+        self, transactions: Sequence[Transaction]
+    ) -> CoordinatorResult:
+        """Run one wave serially, in timestamp order (the oracle)."""
+        out = CoordinatorResult()
+        if not transactions:
+            return out
+        order, results, cycles, shard_sets = self._interpret(transactions)
+        out.results = results
+        total = 0.0
+        touched: set = set()
+        for txn_cycles, shards in zip(cycles, shard_sets):
+            total += txn_cycles
+            touched |= shards
+        out.exec_seconds = self.cost.seconds(total)
+        out.sync_seconds = 2.0 * self.sync_latency_s
+        out.shards_touched = tuple(sorted(touched))
+        return out
+
+    # ------------------------------------------------------------------
+    def conflict_groups(
+        self, transactions: Sequence[Transaction]
+    ) -> List[List[Transaction]]:
+        """Partition a wave into independent conflict groups.
+
+        Groups are the connected components of the wave's conflict
+        graph, computed over the TDG's (reduced) edge set -- edge
+        reduction never disconnects a component, since every dropped
+        conflict edge is covered by a path of retained ones. Members
+        of different groups share no data item, so the groups can
+        execute in any interleaving (DiPETrans's static analysis).
+        Returned in deterministic order (by oldest member), each
+        group's members in timestamp order.
+        """
+        order = sorted(transactions, key=lambda t: t.txn_id)
+        graph = TDependencyGraph.build(
+            (t.txn_id, self.registry.get(t.type_name).accesses(t.params))
+            for t in order
+        )
+        parent: Dict[int, int] = {t.txn_id: t.txn_id for t in order}
+
+        def find(x: int) -> int:
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        for src, dsts in graph.succ.items():
+            for dst in dsts:
+                ra, rb = find(src), find(dst)
+                if ra != rb:
+                    # Union by smaller id keeps roots = oldest member.
+                    if rb < ra:
+                        ra, rb = rb, ra
+                    parent[rb] = ra
+        members: Dict[int, List[Transaction]] = {}
+        for txn in order:
+            members.setdefault(find(txn.txn_id), []).append(txn)
+        return [members[root] for root in sorted(members)]
+
+    # ------------------------------------------------------------------
+    def execute_parallel(
+        self, transactions: Sequence[Transaction]
+    ) -> CoordinatorResult:
+        """Run one wave via the leader/follower group protocol.
+
+        The leader conflict-partitions the wave, serialises one
+        signature batch per group over its interconnect, and each
+        group executes on its *home shard* -- the least-loaded shard
+        among those the group touches. A group starts once its batch
+        is dispatched and its lane is free; the wave's execution time
+        is the completion of the slowest lane, not the serial sum.
+
+        Physically the wave is interpreted in timestamp order exactly
+        like :meth:`execute` -- groups are mutually conflict-free, so
+        the timestamp-order interleaving is one of the schedules the
+        protocol admits, and outcomes, store state and redo capture
+        stay byte-identical to the serial oracle on every path.
+        """
+        out = CoordinatorResult()
+        if not transactions:
+            return out
+        order, results, cycles, shard_sets = self._interpret(transactions)
+        out.results = results
+        position = {t.txn_id: i for i, t in enumerate(order)}
+        lanes = [0.0] * self.router.n_shards
+        dispatch_end = 0.0
+        touched: set = set()
+        for index, group in enumerate(self.conflict_groups(order)):
+            group_shards: set = set()
+            group_cycles = 0.0
+            group_bytes = 0
+            for txn in group:
+                at = position[txn.txn_id]
+                group_shards |= shard_sets[at]
+                group_cycles += cycles[at]
+                group_bytes += txn.signature_bytes()
+            touched |= group_shards
+            dispatch_end += group_bytes / self.dispatch_bytes_per_s
+            if group_shards:
+                home = min(
+                    sorted(group_shards), key=lambda s: (lanes[s], s)
+                )
+            else:
+                # Access-free transactions touch no shard state; spread
+                # them round-robin like the runtime's home_shard does.
+                home = group[0].txn_id % self.router.n_shards
+            seconds = self.cost.seconds(group_cycles)
+            start = max(dispatch_end, lanes[home])
+            lanes[home] = start + seconds
+            out.groups.append(
+                GroupReport(
+                    index=index,
+                    home=home,
+                    size=len(group),
+                    shards=tuple(sorted(group_shards)),
+                    start_s=start,
+                    seconds=seconds,
+                    txn_lo=group[0].txn_id,
+                    txn_hi=group[-1].txn_id,
+                )
+            )
+        makespan = max(lanes)
+        # The last dispatched group starts at or after dispatch_end,
+        # so the makespan always covers the dispatch serialisation.
+        out.dispatch_seconds = dispatch_end
+        out.exec_seconds = makespan - dispatch_end
         out.sync_seconds = 2.0 * self.sync_latency_s
         out.shards_touched = tuple(sorted(touched))
         return out

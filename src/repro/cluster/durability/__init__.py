@@ -37,6 +37,7 @@ from repro.cluster.durability.replay import (
 )
 from repro.cluster.durability.wal import (
     LEADER_STRATEGY,
+    PARALLEL_STRATEGY,
     PHASE_CHECKPOINT,
     PHASE_RECOVERY,
     PHASE_WAL_SYNC,
@@ -52,6 +53,7 @@ __all__ = [
     "ClusterDurability",
     "DurabilityConfig",
     "LEADER_STRATEGY",
+    "PARALLEL_STRATEGY",
     "PHASE_CHECKPOINT",
     "PHASE_RECOVERY",
     "PHASE_WAL_SYNC",

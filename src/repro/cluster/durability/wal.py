@@ -46,6 +46,11 @@ PHASE_RECOVERY = "recovery"
 
 #: Strategy name recorded for leader (cross-shard coordinator) waves.
 LEADER_STRATEGY = "leader"
+#: Strategy name recorded for grouped (parallel-commit) leader waves.
+#: Replay never branches on the label -- redo entries are what replay
+#: applies -- so the two modes' WAL suffixes replay identically; the
+#: label only attributes records to a commit path for observability.
+PARALLEL_STRATEGY = "leader-parallel"
 
 
 class RedoRecorder:

@@ -39,10 +39,14 @@ from repro.gpu.costmodel import TimeBreakdown
 from repro.gpu.transfer import PCIeModel, TransferTimeline
 
 #: Phases that occupy the DMA engine on the way out of a bulk: result
-#: copies, WAL replication, and checkpoint ships all ride the
+#: copies, WAL replication, checkpoint ships, and the cross-shard
+#: coordinator's sync hops + group-dispatch batches all ride the
 #: interconnect, so the pipeline can slide them under the next bulk's
-#: kernels just like ordinary output transfers.
-_DMA_OUT_PHASES = (PHASE_TRANSFER_OUT, PHASE_WAL_SYNC, PHASE_CHECKPOINT)
+#: kernels just like ordinary output transfers. ("sync" matches
+#: :data:`repro.cluster.runtime.PHASE_SYNC`; a literal avoids the
+#: import cycle with the cluster runtime.)
+_DMA_OUT_PHASES = (PHASE_TRANSFER_OUT, PHASE_WAL_SYNC, PHASE_CHECKPOINT,
+                   "sync")
 
 
 @dataclass(frozen=True)

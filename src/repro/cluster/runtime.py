@@ -9,21 +9,35 @@ to N simulated GPUs, DiPETrans-style:
 * every shard owns a full ``GPUTx`` engine -- its own SIMT simulator,
   PCIe link and strategy chooser, so each shard profiles *its own*
   sub-bulk and applies Algorithm 1 independently;
-* each bulk is segmented, in timestamp order, into **waves**:
-  maximal runs of single-shard transactions execute as one parallel
-  wave (the wave's simulated time is the *max* over the shards, not
-  the sum), and runs of cross-shard transactions execute as a
-  coordinator wave -- the leader quiesces the touched shards and runs
-  them serially (:mod:`repro.cluster.coordinator`).
+* each bulk is segmented, in timestamp order, into **waves** of
+  single-shard transactions (one parallel wave: the wave's simulated
+  time is the *max* over the shards, not the sum) and of cross-shard
+  transactions (one coordinator wave, driven by the leader --
+  :mod:`repro.cluster.coordinator`).
+
+Two cross-shard commit modes exist. ``cross_shard="serial"`` is the
+original pass: waves are maximal same-kind runs and the leader
+interprets each coordinator wave serially. ``cross_shard="parallel"``
+(the default) is the DiPETrans leader/follower protocol: segmentation
+packs transactions into the earliest wave that keeps every pair
+touching a common shard in timestamp order (coalescing the many tiny
+runs into a few large waves), and the leader conflict-partitions each
+coordinator wave into independent groups that execute on their home
+shards in parallel -- the wave costs the max over the shard lanes
+plus the leader's dispatch serialisation, not the serial sum.
 
 Correctness (Definition 1, timestamp-order equivalence): within a
 parallel wave, transactions on different shards touch disjoint data by
 construction, and each shard engine is Definition-1 equivalent on its
-own sub-bulk; waves are barrier-separated and coordinator waves are
-serial in timestamp order. The composition is therefore equivalent to
-one serial run of the whole bulk -- the cluster integration tests
-assert exactly this against both the CPU oracle and a single-device
-``GPUTx``.
+own sub-bulk; waves are barrier-separated, coordinator waves are
+interpreted in timestamp order in both modes, and the parallel
+segmentation orders any two transactions that share a shard (hence
+any two that conflict) in timestamp order. The composition is
+therefore equivalent to one serial run of the whole bulk -- and the
+two modes produce byte-identical outcomes, per-shard physical state
+and redo logs; only the simulated clock differs. The cluster
+integration tests assert exactly this against the CPU oracle, a
+single-device ``GPUTx``, and the serial-leader oracle.
 """
 
 from __future__ import annotations
@@ -42,6 +56,7 @@ from repro.cluster.durability.failover import (
 from repro.cluster.durability.replay import states_identical
 from repro.cluster.durability.wal import (
     LEADER_STRATEGY,
+    PARALLEL_STRATEGY,
     PHASE_CHECKPOINT,
     PHASE_RECOVERY,
     PHASE_WAL_SYNC,
@@ -94,6 +109,12 @@ class WaveReport:
     strategies: Dict[int, str] = field(default_factory=dict)
     #: Sub-bulk size per shard (parallel waves); sums to ``size``.
     shard_sizes: Dict[int, int] = field(default_factory=dict)
+    #: Independent conflict groups dispatched (parallel-mode
+    #: coordinator waves; 0 for serial-leader and parallel waves).
+    groups: int = 0
+    #: Commit-path label of a coordinator wave ("leader" for the
+    #: serial pass, "leader-parallel" for the grouped protocol).
+    leader_strategy: str = LEADER_STRATEGY
 
 
 @dataclass
@@ -112,8 +133,11 @@ class ClusterExecutionResult:
     #: True when a shard failure halted the bulk's younger waves.
     halted: bool = False
     #: Transactions requeued (halted waves; they rejoin the pool in
-    #: timestamp order and execute in a later bulk).
+    #: timestamp order -- ``Transaction.timestamp``, not arrival
+    #: ``submit_time`` -- and execute in a later bulk).
     requeued: int = 0
+    #: Conflict groups dispatched by parallel coordinator waves.
+    n_groups: int = 0
 
     @property
     def seconds(self) -> float:
@@ -148,12 +172,13 @@ class ClusterExecutionResult:
 
         Parallel waves count each shard's actual sub-bulk size under
         the strategy that shard chose; coordinator waves count under
-        the serial leader pass.
+        their commit path ("leader" serial, "leader-parallel" grouped).
         """
         counts: Dict[str, int] = {}
         for wave in self.waves:
             if wave.kind == "coordinator":
-                counts["leader"] = counts.get("leader", 0) + wave.size
+                name = wave.leader_strategy
+                counts[name] = counts.get(name, 0) + wave.size
             else:
                 for shard, name in wave.strategies.items():
                     n = wave.shard_sizes.get(shard, 0)
@@ -192,7 +217,15 @@ class ClusterTx:
         sync_latency_s: Optional[float] = None,
         durability: Optional[DurabilityConfig] = None,
         options: Optional[EngineOptions] = None,
+        cross_shard: str = "parallel",
     ) -> None:
+        if cross_shard not in ("parallel", "serial"):
+            raise ClusterError(
+                f"unknown cross_shard mode {cross_shard!r}; expected "
+                "'parallel' (grouped leader/follower) or 'serial' "
+                "(the serial-leader oracle)"
+            )
+        self.cross_shard = cross_shard
         key_space = key_space_of(db) if router == "range" else None
         self.router = make_router(router, n_shards, key_space=key_space)
         self.n_shards = self.router.n_shards
@@ -221,6 +254,7 @@ class ClusterTx:
             [engine.adapter for engine in self.shards],
             self.router,
             sync_latency_s=sync_latency_s,
+            dispatch_bytes_per_s=spec.pcie_bandwidth_bytes_per_s,
         )
         # -- durability (WAL + checkpoints + replicas) -----------------
         self._bulk_seq = 0
@@ -411,6 +445,11 @@ class ClusterTx:
         metrics.counter(
             "cross_shard_txns", "transactions routed through the leader"
         ).inc(out.n_cross_shard)
+        if out.n_groups:
+            metrics.counter(
+                "cross_shard_groups",
+                "conflict groups dispatched by parallel coordinator waves",
+            ).inc(out.n_groups)
         if out.requeued:
             metrics.counter(
                 "cluster_requeued_txns",
@@ -470,8 +509,8 @@ class ClusterTx:
                 # A device is gone: halt this and every younger wave
                 # (running any could commit work out of timestamp
                 # order with respect to the dead shard's lost wave).
-                # The halted transactions rejoin the pool in id order
-                # and execute after promotion.
+                # The halted transactions rejoin the pool in timestamp
+                # order and execute after promotion.
                 rest = [txn for _kind, txns in waves[index:] for txn in txns]
                 self.pool.requeue(rest)
                 out.requeued += len(rest)
@@ -487,7 +526,7 @@ class ClusterTx:
                     # K-SET): younger waves of this bulk may conflict
                     # with them, so running any would break timestamp
                     # order. Requeue the rest; they rejoin the pool in
-                    # id order and execute in a later bulk.
+                    # timestamp order and execute in a later bulk.
                     rest = [
                         txn
                         for _kind, txns in waves[index + 1:]
@@ -507,6 +546,16 @@ class ClusterTx:
         transactions: Sequence[Transaction],
         shard_map: Dict[int, "frozenset[int]"],
     ) -> List[Tuple[str, List[Transaction]]]:
+        """Segment a timestamp-ordered bulk into waves (mode-specific)."""
+        if self.cross_shard == "serial":
+            return self._segment_runs(transactions, shard_map)
+        return self._segment_packed(transactions, shard_map)
+
+    @staticmethod
+    def _segment_runs(
+        transactions: Sequence[Transaction],
+        shard_map: Dict[int, "frozenset[int]"],
+    ) -> List[Tuple[str, List[Transaction]]]:
         """Split a timestamp-ordered bulk into maximal same-kind runs."""
         waves: List[Tuple[str, List[Transaction]]] = []
         for txn in transactions:
@@ -519,6 +568,53 @@ class ClusterTx:
                 waves[-1][1].append(txn)
             else:
                 waves.append((kind, [txn]))
+        return waves
+
+    def _segment_packed(
+        self,
+        transactions: Sequence[Transaction],
+        shard_map: Dict[int, "frozenset[int]"],
+    ) -> List[Tuple[str, List[Transaction]]]:
+        """Conflict-aware wave packing for the parallel commit mode.
+
+        Each transaction (visited in timestamp order) joins the
+        earliest same-kind wave that keeps every pair of transactions
+        touching a **common shard** in timestamp order: at or after
+        the youngest same-kind wave sharing a shard (safe to share,
+        because a shard engine executes its sub-bulk in timestamp
+        order and a coordinator wave is interpreted in timestamp
+        order), and strictly after any different-kind wave sharing a
+        shard (those only order across the wave barrier).
+
+        Conflicting transactions always share a shard, so this is a
+        conservative coarsening of conflict tracking -- and a stronger
+        invariant falls out: on every shard, transactions touch its
+        state in timestamp order, whatever the wave structure. That
+        keeps outcomes, per-shard physical state and halted-bulk
+        requeues byte-identical to the serial-leader schedule while
+        coalescing the run-segmented bulk's many tiny coordinator
+        waves (whose per-wave sync dominates) into a few large ones.
+        """
+        waves: List[Tuple[str, List[Transaction]]] = []
+        touched: List[set] = []
+        for txn in transactions:
+            shards = shard_map[txn.txn_id]
+            kind = "coordinator" if len(shards) > 1 else "parallel"
+            earliest = 0
+            for index, (wave_kind, _wave_txns) in enumerate(waves):
+                if touched[index] & shards:
+                    earliest = max(
+                        earliest,
+                        index if wave_kind == kind else index + 1,
+                    )
+            for index in range(earliest, len(waves)):
+                if waves[index][0] == kind:
+                    waves[index][1].append(txn)
+                    touched[index] |= shards
+                    break
+            else:
+                waves.append((kind, [txn]))
+                touched.append(set(shards))
         return waves
 
     def _run_parallel_wave(
@@ -642,6 +738,8 @@ class ClusterTx:
         bulk_id: int,
         wave_index: int,
     ) -> None:
+        parallel = self.cross_shard == "parallel"
+        leader_strategy = PARALLEL_STRATEGY if parallel else LEADER_STRATEGY
         session = telemetry.current()
         wave_span = None
         if session is not None:
@@ -650,14 +748,56 @@ class ClusterTx:
                 cat=telemetry.CAT_WAVE,
                 kind="coordinator",
                 size=len(wave_txns),
+                mode=self.cross_shard,
             )
-        result = self.coordinator.execute(wave_txns)
+        if parallel:
+            result = self.coordinator.execute_parallel(wave_txns)
+        else:
+            result = self.coordinator.execute(wave_txns)
         out.results.extend(result.results)
         out.breakdown.add(PHASE_COORDINATOR, result.exec_seconds)
-        out.breakdown.add(PHASE_SYNC, result.sync_seconds)
+        # Group dispatch is interconnect traffic: it rides the sync
+        # phase (a DMA-lane phase), so the pipeline scheduler can
+        # drain it under the next bulk's kernels.
+        out.breakdown.add(
+            PHASE_SYNC, result.sync_seconds + result.dispatch_seconds
+        )
+        for group in result.groups:
+            out.shard_busy_s[group.home] += group.seconds
+        out.n_groups += len(result.groups)
         if session is not None:
-            session.tracer.phase(PHASE_COORDINATOR, result.exec_seconds)
-            session.tracer.phase(PHASE_SYNC, result.sync_seconds, track="dma")
+            tracer = session.tracer
+            if result.groups:
+                # Followers execute their groups in parallel: one span
+                # per group on its home shard's lane (starting after
+                # the leader serialised its dispatch batch) replaces
+                # the single serial leader span on the cluster lane.
+                wave_start = (
+                    wave_span.sim_start_s
+                    if wave_span is not None
+                    else tracer.sim_now
+                )
+                for group in result.groups:
+                    tracer.complete(
+                        f"group-{group.index}",
+                        wave_start + group.start_s,
+                        wave_start + group.start_s + group.seconds,
+                        parent=wave_span,
+                        track=f"shard{group.home}",
+                        layer="shard",
+                        size=group.size,
+                        shards=list(group.shards),
+                        txn_lo=group.txn_lo,
+                        txn_hi=group.txn_hi,
+                    )
+            # Cluster-lane phase spans keep the per-phase totals
+            # reconcilable with the breakdown in either mode.
+            tracer.phase(PHASE_COORDINATOR, result.exec_seconds)
+            tracer.phase(
+                PHASE_SYNC,
+                result.sync_seconds + result.dispatch_seconds,
+                track="dma",
+            )
         if self.durability is not None:
             # The leader's writes landed on the touched shards' stores
             # (and in their recorders); every shard seals its share of
@@ -671,7 +811,7 @@ class ClusterTx:
                     self.durability.unit(shard).commit_wave(
                         bulk_id=bulk_id,
                         wave=wave_index,
-                        strategy=LEADER_STRATEGY,
+                        strategy=leader_strategy,
                         results=[
                             r
                             for r in result.results
@@ -694,6 +834,7 @@ class ClusterTx:
                 wave_span,
                 advance_parent=True,
                 shards=sorted(result.shards_touched),
+                groups=len(result.groups),
             )
         out.n_cross_shard += len(wave_txns)
         out.waves.append(
@@ -702,6 +843,8 @@ class ClusterTx:
                 size=len(wave_txns),
                 seconds=result.seconds,
                 shards=result.shards_touched,
+                groups=len(result.groups),
+                leader_strategy=leader_strategy,
             )
         )
 

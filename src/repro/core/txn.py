@@ -155,13 +155,16 @@ class TransactionPool:
     def requeue(self, transactions: Iterable[Transaction]) -> None:
         """Return deferred transactions to the pool.
 
-        Used by the streaming K-SET mode (Section 5.3): transactions
-        whose turn has not come keep their original ids/timestamps and
-        re-enter ahead of younger work. The pool is re-sorted by id so
-        iteration order remains timestamp order.
+        Used by the streaming K-SET mode (Section 5.3) and the
+        cluster's halted-bulk failover path: transactions whose turn
+        has not come keep their original ids/timestamps and re-enter
+        ahead of younger work. The pool is re-sorted by *timestamp*
+        (:attr:`Transaction.timestamp`, the Definition-1 ordering
+        key) so iteration order remains timestamp order -- never by
+        wall-clock ``submit_time``, which arrives in any order.
         """
         self._pending.extend(transactions)
-        self._pending.sort(key=lambda t: t.txn_id)
+        self._pending.sort(key=lambda t: t.timestamp)
 
 
 class ResultPool:

@@ -178,6 +178,32 @@ class TestFailoverMechanics:
             cluster.run_bulk(strategy="kset")
         assert cluster.logical_state() == serial_ledger_state(specs, 24)
 
+    def test_requeue_orders_by_timestamp_not_submit_time(self, rng):
+        """Satellite regression: requeue is keyed on the Definition-1
+        timestamp (``txn_id``), never on wall-clock ``submit_time``.
+        Submit times arrive shuffled here; a requeue that sorted by
+        them would replay halted work out of timestamp order."""
+        cluster = self.make_cluster()
+        specs = ledger_specs(rng, 40, 24, cross_prob=0.4)
+        shuffled = rng.permutation(len(specs)).astype(float)
+        cluster.failover.schedule_kill(1, bulk=0, wave=1)
+        cluster.submit_many(
+            [(name, params, float(t))
+             for (name, params), t in zip(specs, shuffled)]
+        )
+        result = cluster.run_bulk(strategy="kset")
+        assert result.halted and result.requeued > 1
+        pending = list(cluster.pool)
+        ids = [t.txn_id for t in pending]
+        assert ids == sorted(ids)
+        # The requeued slice's wall-clock times really are shuffled --
+        # otherwise the ordering assertion above would be vacuous.
+        submit_times = [t.submit_time for t in pending]
+        assert submit_times != sorted(submit_times)
+        while len(cluster.pool):
+            cluster.run_bulk(strategy="kset")
+        assert cluster.logical_state() == serial_ledger_state(specs, 24)
+
     def test_streaming_kset_deferral_across_failover(self):
         """Satellite: cluster streaming K-SET deferral keeps timestamp
         order across a failover boundary -- deferred older work and

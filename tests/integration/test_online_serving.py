@@ -373,7 +373,9 @@ class TestShardedServing:
         result = cluster.run_bulk(strategy="auto")
         counts = result.strategies_used()
         assert sum(counts.values()) == len(result.results) == 36
-        assert counts.get("leader", 0) == 2
+        # The default parallel commit labels coordinator waves by the
+        # grouped leader/follower path; serial mode keeps "leader".
+        assert counts.get("leader-parallel", 0) == 2
         assert result.strategy in counts
 
 

@@ -185,6 +185,35 @@ class TestBenchCompare:
         assert self.run(tmp_path, base, cur) == 1
         assert "now speedup" in capsys.readouterr().out
 
+    def test_zero_baseline_does_not_divide(self, tmp_path, capsys):
+        """A figure whose baseline is exactly 0.0 must not crash the
+        gate with a ZeroDivisionError and must not fail the run when
+        the current value merely stays at (or rises above) zero."""
+        base = {"FigA": {"metric": "shed_rate", "value": 0.0}}
+        cur = {"FigA": {"metric": "shed_rate", "value": 0.0}}
+        assert self.run(tmp_path, base, cur) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_zero_baseline_improvement_passes(self, tmp_path):
+        base = {"FigA": {"metric": "ktps", "value": 0.0}}
+        cur = {"FigA": {"metric": "ktps", "value": 12.5}}
+        assert self.run(tmp_path, base, cur) == 0
+
+    def test_drop_below_zero_baseline_fails(self, tmp_path, capsys):
+        """Falling below an already-zero baseline is a full regression."""
+        base = {"FigA": {"metric": "margin", "value": 0.0}}
+        cur = {"FigA": {"metric": "margin", "value": -3.0}}
+        assert self.run(tmp_path, base, cur) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_relative_delta_near_zero_baseline(self):
+        """Denormal baselines are zero: no million-percent swings."""
+        module = _load_bench_compare()
+        assert module.relative_delta(0.0, 0.0) == 0.0
+        assert module.relative_delta(1e-15, 1e-9) == 0.0
+        assert module.relative_delta(0.0, -1e-9) == -1.0
+        assert module.relative_delta(100.0, 80.0) == pytest.approx(-0.2)
+
     def test_mismatched_run_context_refused(self, tmp_path):
         """A full-size baseline must not gate smoke-mode runs."""
         module = _load_bench_compare()

@@ -146,6 +146,28 @@ class TestMetrics:
             percentile([1.0], -1)
         assert percentile([], 95) == 0.0
 
+    def test_percentile_of_empty_is_zero_at_every_q(self):
+        """No samples -> 0.0, never an IndexError, for any quantile."""
+        for q in (0, 50, 95, 99, 100):
+            assert percentile([], q) == 0.0
+
+    def test_empty_serve_latency_summary_is_defined(self):
+        """The serve layer's summaries ride on the same histogram and
+        must give a defined all-zero shape for an idle server (zero
+        executed transactions), not crash on the empty percentile."""
+        from repro.serve.metrics import LatencySummary, Percentiles, TOTAL
+
+        empty = Percentiles.of([])
+        assert (empty.mean, empty.p50, empty.p95, empty.p99, empty.max) == (
+            0.0, 0.0, 0.0, 0.0, 0.0,
+        )
+        summary = LatencySummary.of([])
+        assert summary.count == 0
+        assert summary.shed == 0
+        assert summary.shed_rate == 0.0
+        assert summary.p95_total_s == 0.0
+        assert summary[TOTAL].p95 == 0.0
+
     def test_registry_get_or_create_and_kind_mismatch(self):
         reg = MetricsRegistry()
         assert reg.counter("a") is reg.counter("a")
