@@ -11,7 +11,13 @@ and the serial CPU oracle.
 Run:  python examples/cluster_failover.py
 """
 
-from repro import ClusterTx, CpuEngine, DurabilityConfig, TransactionPool
+from repro import (
+    ClusterOptions,
+    ClusterTx,
+    CpuEngine,
+    DurabilityConfig,
+    TransactionPool,
+)
 from repro.workloads import tm1
 
 N_SHARDS = 4
@@ -20,8 +26,8 @@ BULK_TXNS = 250
 
 
 def build_cluster(db, durable: bool) -> ClusterTx:
-    durability = (
-        DurabilityConfig(checkpoint_interval=4, n_replicas=2)
+    options = ClusterOptions(
+        durability=DurabilityConfig(checkpoint_interval=4, n_replicas=2)
         if durable
         else None
     )
@@ -29,7 +35,7 @@ def build_cluster(db, durable: bool) -> ClusterTx:
         db,
         procedures=tm1.CLUSTER_PROCEDURES,
         n_shards=N_SHARDS,
-        durability=durability,
+        options=options,
     )
 
 

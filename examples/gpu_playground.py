@@ -13,7 +13,7 @@ generator of micro-ops and launch thousands of threads. This example
 Run:  python examples/gpu_playground.py
 """
 
-from repro.errors import DeadlockError
+from repro import DeadlockError
 from repro.gpu import DictStore, LockTable, SIMTEngine, ThreadTask, ops
 
 

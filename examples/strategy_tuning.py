@@ -11,9 +11,7 @@ Three knobs the paper studies, reproduced interactively:
 Run:  python examples/strategy_tuning.py
 """
 
-from repro import GPUTx
-from repro.core.chooser import ChooserThresholds, choose_strategy
-from repro.core.profiler import BulkProfiler
+from repro import ChooserThresholds, GPUTx
 from repro.workloads import micro
 
 N_TUPLES = 16_384
@@ -61,7 +59,6 @@ def main() -> None:
     # --- 3. Algorithm 1 ----------------------------------------------------
     thresholds = ChooserThresholds(w0_bar=2_000, c_bar=0, d_bar=64)
     profiler_procs = micro.build_procedures(8, x=1)
-    profiler = BulkProfiler.__new__(BulkProfiler)  # reuse engine's below
     print("Algorithm 1 on three workload shapes (w0_bar=2000):")
     for label, alpha, n in [
         ("uniform, wide 0-set", None, 4_000),
@@ -75,7 +72,7 @@ def main() -> None:
             )
         )
         profile = engine.profile_pool()
-        choice = choose_strategy(profile, thresholds)
+        choice = profile.predicted_strategy(thresholds)
         print(f"  {label:<22s} w0={profile.w0:5d} depth={profile.depth:4d} "
               f"cross={profile.cross_partition:3d} -> {choice}")
         report = engine.run_bulk(strategy="auto")

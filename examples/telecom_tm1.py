@@ -13,8 +13,7 @@ example:
 Run:  python examples/telecom_tm1.py
 """
 
-from repro import CpuEngine, GPUTx
-from repro.core.txn import TransactionPool
+from repro import CpuEngine, GPUTx, TransactionPool
 from repro.workloads import tm1
 
 SCALE_FACTOR = 4

@@ -19,6 +19,15 @@ Quick start::
 
 from repro.cluster.coordinator import FailoverController
 from repro.cluster.durability import DurabilityConfig, RecoveryReport
+from repro.cluster.elastic import (
+    ElasticConfig,
+    ElasticController,
+    HotShardDetector,
+    HotShardReport,
+    MigrationPlan,
+    MigrationReport,
+    ShardMigrator,
+)
 from repro.cluster.pipeline import (
     PipelinedRunReport,
     PipelineScheduler,
@@ -26,7 +35,9 @@ from repro.cluster.pipeline import (
 )
 from repro.cluster.router import HashShardRouter, RangeShardRouter, ShardRouter
 from repro.cluster.runtime import ClusterExecutionResult, ClusterTx
+from repro.config import ClusterOptions
 from repro.core.backends import EngineOptions
+from repro.core.chooser import ChooserThresholds
 from repro.core.engine import ArrivalReport, GPUTx
 from repro.core.executor import ExecutionResult
 from repro.core.procedure import Access, ProcedureRegistry, TransactionType
@@ -52,7 +63,10 @@ from repro.errors import (
 from repro.serve import (
     AdaptiveBulkFormer,
     AdmissionController,
+    Arrival,
+    ArrivalStream,
     FixedBulkFormer,
+    LatencySummary,
     ServeReport,
     ServeRuntime,
     SLOConfig,
@@ -60,6 +74,10 @@ from repro.serve import (
 from repro.storage.catalog import Database, StoreAdapter
 from repro.storage.schema import ColumnDef, DataType, TableSchema
 from repro.telemetry import TelemetrySession
+# The telemetry session context manager, under a package-level name
+# that cannot shadow the ``repro.telemetry`` submodule attribute.
+from repro.telemetry import session as telemetry_session
+from repro import workloads
 
 __version__ = "1.0.0"
 
@@ -69,8 +87,16 @@ __all__ = [
     "ClusterTx",
     "ClusterExecutionResult",
     "ClusterError",
+    "ClusterOptions",
     "DurabilityConfig",
     "DurabilityError",
+    "ElasticConfig",
+    "ElasticController",
+    "HotShardDetector",
+    "HotShardReport",
+    "MigrationPlan",
+    "MigrationReport",
+    "ShardMigrator",
     "FailoverController",
     "RecoveryError",
     "RecoveryReport",
@@ -81,6 +107,7 @@ __all__ = [
     "PipelineScheduler",
     "PipelinedRunReport",
     "run_pipelined",
+    "ChooserThresholds",
     "EngineOptions",
     "ExecutionResult",
     "Access",
@@ -100,7 +127,10 @@ __all__ = [
     "StorageError",
     "AdaptiveBulkFormer",
     "AdmissionController",
+    "Arrival",
+    "ArrivalStream",
     "FixedBulkFormer",
+    "LatencySummary",
     "SLOConfig",
     "ServeReport",
     "ServeRuntime",
@@ -110,6 +140,8 @@ __all__ = [
     "DataType",
     "TableSchema",
     "TelemetrySession",
+    "telemetry_session",
+    "workloads",
     "__version__",
 ]
 

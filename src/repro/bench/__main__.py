@@ -1,12 +1,14 @@
 """``python -m repro.bench --out BENCH_PR<k>.json``.
 
-Delegates to :func:`repro.bench.harness.main`: runs every figure
-function in smoke mode and writes the headline-metric JSON the CI
-perf-trajectory lane uploads and gates on.
+Alias of ``python -m repro bench``: routes through the unified CLI
+front door (:mod:`repro.cli`), which delegates to
+:func:`repro.bench.harness.main` -- runs every figure function in
+smoke mode and writes the headline-metric JSON the CI perf-trajectory
+lane uploads and gates on.
 """
 
 import sys
 
-from repro.bench.harness import main
+from repro.cli import main
 
-sys.exit(main())
+sys.exit(main(["bench", *sys.argv[1:]]))

@@ -228,6 +228,7 @@ def trajectory_figures() -> Dict[str, Callable[[], FigureResult]]:
     from repro.bench import cluster as bench_cluster
     from repro.bench import coverage as bench_coverage
     from repro.bench import durability as bench_durability
+    from repro.bench import elastic as bench_elastic
     from repro.bench import serving as bench_serving
     from repro.bench.figures import ALL_FIGURES
 
@@ -237,6 +238,7 @@ def trajectory_figures() -> Dict[str, Callable[[], FigureResult]]:
     fns.update(bench_serving.FIGURES)
     fns.update(bench_backend.FIGURES)
     fns.update(bench_coverage.FIGURES)
+    fns.update(bench_elastic.FIGURES)
     return fns
 
 

@@ -1,0 +1,140 @@
+"""The one CLI front door: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``bench`` -- run the benchmark suite and emit the perf-trajectory
+  headline JSON (delegates to :func:`repro.bench.harness.main`);
+* ``telemetry report|validate`` -- inspect or schema-check an exported
+  Chrome trace (delegates to :func:`repro.telemetry.report.main`);
+* ``migrate-demo`` -- build a small range-sharded SmallBank cluster,
+  execute a bulk, and perform one live range migration, printing the
+  router table before/after and the cost breakdown.
+
+``python -m repro.bench`` and ``python -m repro.telemetry`` remain as
+aliases and route through this module, so both spellings stay
+byte-identical in behavior.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+_USAGE = """\
+usage: python -m repro <command> [args...]
+
+commands:
+  bench           run the benchmark suite (see: python -m repro bench --help)
+  telemetry       inspect/validate exported traces (report | validate)
+  migrate-demo    live shard-migration walkthrough on a SmallBank cluster
+"""
+
+
+def _migrate_demo(argv: List[str]) -> int:
+    """A self-contained elastic-shards walkthrough."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro migrate-demo",
+        description=(
+            "Build a range-sharded SmallBank cluster, run one bulk, "
+            "then split the busiest shard's range live."
+        ),
+    )
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--txns", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--theta", type=float, default=0.9,
+        help="zipfian skew of the demo workload (0 = uniform)",
+    )
+    args = parser.parse_args(argv)
+
+    import repro.telemetry as telemetry
+    from repro.cluster.durability import DurabilityConfig
+    from repro.cluster.elastic import MigrationPlan
+    from repro.cluster.runtime import ClusterTx
+    from repro.config import ClusterOptions
+    from repro.workloads import smallbank
+
+    db = smallbank.build_database(scale_factor=1)
+    cluster = ClusterTx(
+        db,
+        procedures=smallbank.PROCEDURES,
+        n_shards=args.shards,
+        router="range",
+        options=ClusterOptions(durability=DurabilityConfig()),
+    )
+
+    def show_table(title: str) -> None:
+        print(title)
+        for lo, hi, owner in cluster.router.range_table:
+            print(f"  [{lo:>5}, {hi:>5}) -> shard {owner}")
+
+    show_table("range table (before):")
+    cluster.submit_many(
+        smallbank.generate_transactions(
+            db, args.txns, seed=args.seed, theta=args.theta
+        )
+    )
+    with telemetry.session():
+        out = cluster.execute_bulk(cluster.pool.take())
+        print(
+            f"bulk: {len(out.results)} txns, {out.committed} committed, "
+            f"{len(out.waves)} waves, {out.seconds * 1e3:.3f} ms simulated"
+        )
+        busiest = max(
+            range(cluster.n_shards), key=lambda k: out.shard_busy_s[k]
+        )
+        coolest = min(
+            (k for k in range(cluster.n_shards) if k != busiest),
+            key=lambda k: out.shard_busy_s[k],
+        )
+        lo, hi = max(
+            cluster.router.ranges_of(busiest), key=lambda r: r[1] - r[0]
+        )
+        mid = (lo + hi) // 2
+        report = cluster.migrate(
+            MigrationPlan(src=busiest, dst=coolest, key_lo=mid, key_hi=hi)
+        )
+    print(
+        f"migrated [{report.key_lo}, {report.key_hi}) from shard "
+        f"{report.src} to shard {report.dst}: {report.moved_rows} rows "
+        f"({report.moved_bytes} B), {report.tail_records} WAL tail "
+        "records replayed"
+    )
+    print(
+        "cost (simulated ms): "
+        f"fork {report.fork_seconds * 1e3:.4f}, "
+        f"wal_replay {report.replay_seconds * 1e3:.4f}, "
+        f"copy {report.transfer_seconds * 1e3:.4f}, "
+        f"wal_sync {report.wal_sync_seconds * 1e3:.4f}, "
+        f"swap {report.swap_seconds * 1e3:.4f}, "
+        f"total {report.seconds * 1e3:.4f}"
+    )
+    show_table("range table (after):")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(_USAGE, end="")
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "bench":
+        from repro.bench.harness import main as bench_main
+
+        return bench_main(rest)
+    if command == "telemetry":
+        from repro.telemetry.report import main as telemetry_main
+
+        return telemetry_main(rest)
+    if command == "migrate-demo":
+        return _migrate_demo(rest)
+    print(f"unknown command {command!r}\n{_USAGE}", end="", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via -m repro
+    raise SystemExit(main())

@@ -294,6 +294,15 @@ class CrossShardCoordinator:
         #: is bytes-proportional and independent of the shard count.
         self.dispatch_bytes_per_s = dispatch_bytes_per_s
 
+    def barrier_seconds(self) -> float:
+        """Cost of one quiesce/release control round trip.
+
+        The same gather + release pair a coordinator wave pays; a live
+        router-table swap (:mod:`repro.cluster.elastic`) fences the
+        affected shards with exactly one such barrier.
+        """
+        return 2.0 * self.sync_latency_s
+
     # ------------------------------------------------------------------
     def _interpret(
         self, transactions: Sequence[Transaction]

@@ -254,6 +254,39 @@ class ShardDurability:
         return wait
 
     # ------------------------------------------------------------------
+    def durable_snapshot(self) -> Tuple[Database, int, float, float]:
+        """Materialise the shard's current durable state off to the side.
+
+        COW-forks the newest checkpoint and replays the WAL tail past
+        it -- the same checkpoint + suffix composition promotion uses,
+        but on the *live* shard: because waves are sealed synchronously,
+        the result is byte-identical to the shard's volatile partition,
+        without touching it. This is the read side of a live range
+        migration (:mod:`repro.cluster.elastic`).
+
+        Returns ``(db, tail_records, fork_seconds, replay_seconds)``.
+        The fork is metadata-only (O(tables x columns), the COW
+        property checkpoints are built on); the tail replay pays the
+        same per-record interconnect cost promotion charges.
+        """
+        if self.recorder.entries:
+            raise DurabilityError(
+                f"shard {self.shard} has unsealed redo entries; a "
+                "durable snapshot is only defined at a wave boundary"
+            )
+        checkpoint = self.checkpoints.latest
+        records = self.wal.suffix(checkpoint.lsn)
+        db, _stats = recover_database(checkpoint, records)
+        fork_bytes = sum(
+            24 * len(table.schema.columns) for table in db.tables.values()
+        )
+        fork_seconds = self.pcie.transfer_seconds(fork_bytes)
+        replay_seconds = sum(
+            self.pcie.transfer_seconds(record.record_bytes())
+            for record in records
+        )
+        return db, len(records), fork_seconds, replay_seconds
+
     def promote(self) -> Tuple[Database, ReplayStats, RecoveryReport]:
         """Restore the newest checkpoint and replay the WAL suffix.
 

@@ -43,6 +43,7 @@ from repro.errors import DurabilityError
 PHASE_WAL_SYNC = "wal_sync"
 PHASE_CHECKPOINT = "checkpoint"
 PHASE_RECOVERY = "recovery"
+PHASE_MIGRATION = "migration"
 
 #: Strategy name recorded for leader (cross-shard coordinator) waves.
 LEADER_STRATEGY = "leader"
@@ -51,6 +52,11 @@ LEADER_STRATEGY = "leader"
 #: applies -- so the two modes' WAL suffixes replay identically; the
 #: label only attributes records to a commit path for observability.
 PARALLEL_STRATEGY = "leader-parallel"
+#: Strategy name recorded for the row moves of a live range migration
+#: (``repro.cluster.elastic``). Like the leader labels, replay never
+#: branches on it: the migrating inserts/deletes are ordinary redo
+#: entries, so a WAL suffix spanning a migration replays identically.
+MIGRATION_STRATEGY = "migration"
 
 
 class RedoRecorder:

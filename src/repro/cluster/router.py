@@ -21,12 +21,16 @@ re-routing is ever needed.
 
 from __future__ import annotations
 
-from typing import Any, FrozenSet, Optional, Sequence, Tuple, Union
+from bisect import bisect_right
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.procedure import TransactionType
 from repro.errors import ClusterError, ConfigError
+
+#: One row of a range table: keys in ``[lo, hi)`` belong to ``shard``.
+RangeEntry = Tuple[int, int, int]
 
 
 class ShardRouter:
@@ -81,6 +85,20 @@ class ShardRouter:
     ) -> bool:
         return len(self.shards_of(txn_type, params)) > 1
 
+    # ------------------------------------------------------------------
+    def split(self, lo: int, hi: int, dst: int) -> List[RangeEntry]:
+        """Reassign the key range ``[lo, hi)`` to shard ``dst``.
+
+        Only routers with an explicit range table support live splits;
+        everything else (hash most prominently) scatters a contiguous
+        key range over every shard, so there is no contiguous slice of
+        data a migration could move.
+        """
+        raise ConfigError(
+            f"{self.kind} router has no range table to split; live "
+            "shard migration requires router='range'"
+        )
+
 
 class HashShardRouter(ShardRouter):
     """Modulo hashing over the integer partition key.
@@ -99,8 +117,17 @@ class HashShardRouter(ShardRouter):
 
 
 class RangeShardRouter(ShardRouter):
-    """Contiguous key ranges: shard ``i`` owns keys in its slice of
-    ``[0, key_space)``. Out-of-range keys clamp to the edge shards."""
+    """Contiguous key ranges over an explicit, mutable range table.
+
+    Shard ``i`` initially owns its arithmetic slice of
+    ``[0, key_space)`` (``lo = ceil(i * key_space / n_shards)``), the
+    same mapping the original closed-form router produced. The table is
+    an ordered list of ``(lo, hi, shard)`` entries covering the key
+    space exactly; :meth:`split` rewrites it *in place*, so every
+    holder of this router object -- admission controller, cross-shard
+    coordinator, cluster store adapter -- observes the swap atomically
+    at the next lookup. Out-of-range keys clamp to the edge entries.
+    """
 
     kind = "range"
 
@@ -109,16 +136,92 @@ class RangeShardRouter(ShardRouter):
         if key_space < 1:
             raise ConfigError("key_space must be >= 1")
         self.key_space = key_space
+        #: bumped on every table swap; serving-layer consumers can use
+        #: it to detect that routing changed under them.
+        self.table_version = 0
+        entries = []
+        for shard in range(n_shards):
+            lo = -(-shard * key_space // n_shards)
+            hi = -(-(shard + 1) * key_space // n_shards)
+            if hi > lo:
+                entries.append((lo, hi, shard))
+        self._install(entries)
 
+    # -- table plumbing ------------------------------------------------
+    def _install(self, entries: Sequence[RangeEntry]) -> None:
+        self._entries: List[RangeEntry] = list(entries)
+        self._lows: List[int] = [e[0] for e in self._entries]
+        self._lows_arr = np.asarray(self._lows, dtype=np.int64)
+        self._owners_arr = np.asarray(
+            [e[2] for e in self._entries], dtype=np.int64
+        )
+
+    @property
+    def range_table(self) -> Tuple[RangeEntry, ...]:
+        """The live table, ordered by ``lo`` and gap-free."""
+        return tuple(self._entries)
+
+    def ranges_of(self, shard: int) -> Tuple[Tuple[int, int], ...]:
+        """The ``(lo, hi)`` ranges currently owned by ``shard``."""
+        return tuple(
+            (lo, hi) for lo, hi, owner in self._entries if owner == shard
+        )
+
+    # -- lookups -------------------------------------------------------
     def shard_of_key(self, key: Any) -> int:
         k = min(max(int(key), 0), self.key_space - 1)
-        return k * self.n_shards // self.key_space
+        return self._entries[bisect_right(self._lows, k) - 1][2]
 
     def shard_of_keys(self, keys: np.ndarray) -> np.ndarray:
         clamped = np.clip(
             np.asarray(keys, dtype=np.int64), 0, self.key_space - 1
         )
-        return clamped * self.n_shards // self.key_space
+        idx = np.searchsorted(self._lows_arr, clamped, side="right") - 1
+        return self._owners_arr[idx]
+
+    # -- live splits ---------------------------------------------------
+    def split(self, lo: int, hi: int, dst: int) -> List[RangeEntry]:
+        """Atomically reassign ``[lo, hi)`` to ``dst``, in place.
+
+        Returns the segments that actually changed owner, as
+        ``(lo, hi, previous_owner)`` entries -- exactly the data a
+        migration has to move. Adjacent entries with the same owner are
+        coalesced, so repeated splits never fragment the table beyond
+        the distinct ownership boundaries.
+        """
+        if not 0 <= dst < self.n_shards:
+            raise ConfigError(
+                f"split destination shard {dst} out of range for "
+                f"{self.n_shards}-shard cluster"
+            )
+        if not 0 <= lo < hi <= self.key_space:
+            raise ConfigError(
+                f"split range [{lo}, {hi}) is not a non-empty subrange "
+                f"of [0, {self.key_space})"
+            )
+        moved: List[RangeEntry] = []
+        rebuilt: List[RangeEntry] = []
+        for e_lo, e_hi, owner in self._entries:
+            cut_lo, cut_hi = max(e_lo, lo), min(e_hi, hi)
+            if cut_lo >= cut_hi:
+                rebuilt.append((e_lo, e_hi, owner))
+                continue
+            if e_lo < cut_lo:
+                rebuilt.append((e_lo, cut_lo, owner))
+            rebuilt.append((cut_lo, cut_hi, dst))
+            if owner != dst:
+                moved.append((cut_lo, cut_hi, owner))
+            if cut_hi < e_hi:
+                rebuilt.append((cut_hi, e_hi, owner))
+        merged: List[RangeEntry] = []
+        for entry in rebuilt:
+            if merged and merged[-1][2] == entry[2]:
+                merged[-1] = (merged[-1][0], entry[1], entry[2])
+            else:
+                merged.append(entry)
+        self._install(merged)
+        self.table_version += 1
+        return moved
 
 
 def replica_placement(shard: int, n_shards: int, k: int) -> Tuple[int, ...]:

@@ -58,8 +58,16 @@ from repro.cluster.durability.wal import (
     LEADER_STRATEGY,
     PARALLEL_STRATEGY,
     PHASE_CHECKPOINT,
+    PHASE_MIGRATION,
     PHASE_RECOVERY,
     PHASE_WAL_SYNC,
+)
+from repro.cluster.elastic import (
+    ElasticConfig,
+    ElasticController,
+    MigrationPlan,
+    MigrationReport,
+    ShardMigrator,
 )
 from repro.cluster.partition import key_space_of, partition_database
 from repro.cluster.router import ShardRouter, make_router
@@ -138,6 +146,12 @@ class ClusterExecutionResult:
     requeued: int = 0
     #: Conflict groups dispatched by parallel coordinator waves.
     n_groups: int = 0
+    #: Live range migrations applied at this bulk's wave boundaries.
+    migrations: List[MigrationReport] = field(default_factory=list)
+    #: Transactions executed per shard in this bulk's parallel waves.
+    shard_txns: Dict[int, int] = field(default_factory=dict)
+    #: Aborts per shard in this bulk's parallel waves (conflict signal).
+    shard_aborts: Dict[int, int] = field(default_factory=dict)
 
     @property
     def seconds(self) -> float:
@@ -216,16 +230,32 @@ class ClusterTx:
         thresholds: Optional[ChooserThresholds] = None,
         sync_latency_s: Optional[float] = None,
         durability: Optional[DurabilityConfig] = None,
-        options: Optional[EngineOptions] = None,
-        cross_shard: str = "parallel",
+        options: Union[EngineOptions, ClusterOptions, None] = None,
+        cross_shard: Optional[str] = None,
+        elastic: Optional[ElasticConfig] = None,
     ) -> None:
-        if cross_shard not in ("parallel", "serial"):
+        if cross_shard is not None and cross_shard not in (
+            "parallel", "serial",
+        ):
             raise ClusterError(
                 f"unknown cross_shard mode {cross_shard!r}; expected "
                 "'parallel' (grouped leader/follower) or 'serial' "
                 "(the serial-leader oracle)"
             )
-        self.cross_shard = cross_shard
+        # New-style configuration comes in one ClusterOptions value;
+        # the legacy kwargs keep working (with a deprecation warning)
+        # and override the corresponding field.
+        from repro.config import ClusterOptions, resolve_cluster_options
+
+        self.options: "ClusterOptions" = resolve_cluster_options(
+            options,
+            durability=durability,
+            cross_shard=cross_shard,
+            elastic=elastic,
+        )
+        durability = self.options.durability
+        elastic = self.options.elastic
+        self.cross_shard = self.options.cross_shard
         key_space = key_space_of(db) if router == "range" else None
         self.router = make_router(router, n_shards, key_space=key_space)
         self.n_shards = self.router.n_shards
@@ -240,7 +270,7 @@ class ClusterTx:
                 block_size=block_size,
                 use_undo_logging=use_undo_logging,
                 thresholds=thresholds,
-                options=options,
+                options=self.options.engine,
             )
             for shard_db in shard_dbs
         ]
@@ -272,6 +302,19 @@ class ClusterTx:
                 durability, self.shards, self.n_shards
             )
             self.failover = FailoverController(self)
+        # -- elastic shards (hot-key detection + live migration) -------
+        self.elastic: Optional[ElasticController] = None
+        self._migrator: Optional[ShardMigrator] = None
+        self._pending_migration: Optional[MigrationPlan] = None
+        if elastic is not None:
+            if self.router.kind != "range":
+                raise ClusterError(
+                    "elastic shards require router='range': live "
+                    "migration splits a range table, and a "
+                    f"{self.router.kind!r} router has none"
+                )
+            self.elastic = ElasticController(self, elastic)
+            self._migrator = self.elastic.migrator
 
     # ------------------------------------------------------------------
     # Registration and submission (mirrors the GPUTx surface).
@@ -463,6 +506,17 @@ class ClusterTx:
             metrics.gauge(
                 "shard_busy_seconds", "per-shard busy time of the last bulk"
             ).set(busy, shard=shard)
+        for shard, executed in out.shard_txns.items():
+            if executed:
+                metrics.gauge(
+                    "shard_conflict_rate",
+                    "per-shard abort share of the last bulk's parallel "
+                    "waves",
+                ).set(out.shard_aborts.get(shard, 0) / executed, shard=shard)
+        if out.migrations:
+            metrics.counter(
+                "cluster_migrations", "live range migrations in bulks"
+            ).inc(len(out.migrations))
 
     def _durability_epilogue(self, out: ClusterExecutionResult) -> None:
         """Post-bulk durability work: auto failover, then checkpoints."""
@@ -516,6 +570,17 @@ class ClusterTx:
                 out.requeued += len(rest)
                 out.halted = True
                 break
+            if self._pending_migration is not None:
+                # A live migration lands at this wave boundary: the
+                # shards it touched are quiesced (nothing in flight
+                # across a barrier), so swap now and requeue only the
+                # transactions transitively ordered against them.
+                self._apply_pending_migration(
+                    waves, index, shard_map, out, bulk_id
+                )
+                kind, wave_txns = waves[index]
+                if not wave_txns:
+                    continue
             if kind == "parallel":
                 deferred = self._run_parallel_wave(
                     wave_txns, shard_map, strategy, options, out,
@@ -539,6 +604,117 @@ class ClusterTx:
                 self._run_coordinator_wave(
                     wave_txns, shard_map, out, bulk_id, index
                 )
+
+    # ------------------------------------------------------------------
+    # Elastic shards: live range migration.
+    # ------------------------------------------------------------------
+    def _migrator_for(self) -> ShardMigrator:
+        if self._migrator is None:
+            if self.router.kind != "range":
+                raise ClusterError(
+                    "live migration requires router='range': a "
+                    f"{self.router.kind!r} router has no range table "
+                    "to split"
+                )
+            self._migrator = ShardMigrator(self)
+        return self._migrator
+
+    def request_migration(self, plan: MigrationPlan) -> None:
+        """Queue a range move to land at the next wave boundary.
+
+        The swap happens mid-bulk, between two waves: the affected
+        shards are quiesced there by construction, and the wave loop
+        requeues (in timestamp order, the halted-bulk path) exactly
+        the transactions transitively ordered against them.
+        """
+        self._migrator_for()  # validates the router up front
+        if self._pending_migration is not None:
+            raise ClusterError(
+                "a migration is already pending; one range move lands "
+                "per wave boundary"
+            )
+        self._pending_migration = plan
+
+    def migrate(self, plan: MigrationPlan) -> MigrationReport:
+        """Execute a range move immediately (between bulks).
+
+        Nothing is in flight between bulks, so no requeue is needed;
+        the cost still rides the DMA timeline and the simulated clock.
+        """
+        report = self._migrator_for().migrate(
+            plan, bulk_id=self._bulk_seq, wave=0, now=self._sim_clock
+        )
+        self._sim_clock += report.seconds
+        if self.elastic is not None:
+            self.elastic.reports.append(report)
+        return report
+
+    def maybe_rebalance(self) -> Optional[MigrationReport]:
+        """Detect-and-split hook the serve loop calls between bulks.
+
+        No-op unless the cluster was built with ``elastic=``; returns
+        the :class:`MigrationReport` when a hot shard was split so the
+        caller can charge the simulated cost to its own clock.
+        """
+        if self.elastic is None or self._dead:
+            return None
+        report = self.elastic.maybe_rebalance(self._sim_clock)
+        if report is not None:
+            self._sim_clock += report.seconds
+        return report
+
+    def _apply_pending_migration(
+        self,
+        waves: List[Tuple[str, List[Transaction]]],
+        index: int,
+        shard_map: Dict[int, "frozenset[int]"],
+        out: ClusterExecutionResult,
+        bulk_id: int,
+    ) -> MigrationReport:
+        """Swap the pending range at the wave boundary ``index``.
+
+        Requeues the transactions transitively ordered against the
+        swapped shards and filters them out of the remaining waves,
+        in place. A single forward pass propagates the taint to a
+        fixpoint: the packed segmentation keeps any two transactions
+        sharing a shard in timestamp order across (wave index,
+        within-wave position), so by the time a transaction is
+        visited, every older transaction it is ordered against has
+        already contributed its shards to the tainted set. Kept
+        transactions therefore share no shard -- transitively -- with
+        any requeued one, and every shard still observes its
+        transactions in timestamp order (Definition 1).
+        """
+        plan, self._pending_migration = self._pending_migration, None
+        now = self._sim_clock + out.breakdown.total
+        report = self._migrator_for().migrate(
+            plan, bulk_id=bulk_id, wave=index, now=now
+        )
+        tainted = {plan.src, plan.dst}
+        requeued: List[Transaction] = []
+        for k in range(index, len(waves)):
+            kind_k, txns_k = waves[k]
+            kept: List[Transaction] = []
+            for txn in txns_k:
+                shards = shard_map[txn.txn_id]
+                homes = (
+                    shards
+                    if shards
+                    else frozenset({txn.txn_id % self.n_shards})
+                )
+                if homes & tainted:
+                    tainted |= homes
+                    requeued.append(txn)
+                else:
+                    kept.append(txn)
+            waves[k] = (kind_k, kept)
+        if requeued:
+            self.pool.requeue(requeued)
+        report.requeued = len(requeued)
+        out.requeued += len(requeued)
+        out.migrations.append(report)
+        out.breakdown.add(PHASE_MIGRATION, report.seconds)
+        return report
 
     # ------------------------------------------------------------------
     def _segment(
@@ -682,6 +858,12 @@ class ClusterTx:
                 self.pool.requeue(leftovers)
             out.results.extend(result.results)
             out.shard_busy_s[shard] += result.seconds
+            out.shard_txns[shard] = (
+                out.shard_txns.get(shard, 0) + len(result.results)
+            )
+            out.shard_aborts[shard] = out.shard_aborts.get(shard, 0) + sum(
+                1 for r in result.results if not r.committed
+            )
             wave.strategies[shard] = result.strategy
             wave.shard_sizes[shard] = len(txns)
             if result.seconds > wave.seconds:

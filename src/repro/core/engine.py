@@ -94,7 +94,7 @@ class GPUTx:
         block_size: int = 256,
         use_undo_logging: bool = True,
         thresholds: Optional[ChooserThresholds] = None,
-        options: Optional[EngineOptions] = None,
+        options: "Union[EngineOptions, ClusterOptions, None]" = None,
     ) -> None:
         self.db = db
         self.spec = spec
@@ -110,7 +110,17 @@ class GPUTx:
         self.profiler = BulkProfiler(self.registry, self.primitives)
         self.thresholds = thresholds or ChooserThresholds.for_spec(spec)
         self.use_undo_logging = use_undo_logging
-        self.options = options or EngineOptions()
+        if options is None or isinstance(options, EngineOptions):
+            self.options = options or EngineOptions()
+        else:
+            # A full ClusterOptions is accepted wherever EngineOptions
+            # used to go; repro.config extracts the engine slice (and
+            # warns about ignored cluster-only fields). Imported
+            # lazily: repro.config composes cluster-layer types, and
+            # this module is at the bottom of that import graph.
+            from repro.config import coerce_engine_options
+
+            self.options = coerce_engine_options(options)
         #: The execution backend every K-SET/PART kernel launch of this
         #: engine routes through (repro.core.backends).
         self.backend = create_backend(self.options)

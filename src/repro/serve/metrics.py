@@ -33,7 +33,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing
 
 #: Breakdown phases that ride the interconnect rather than the device.
 TRANSFER_PHASES = frozenset(
-    {"transfer_in", "transfer_out", "wal_sync", "checkpoint", "sync"}
+    {"transfer_in", "transfer_out", "wal_sync", "checkpoint", "migration",
+     "sync"}
 )
 
 #: Component keys of the latency breakdown.

@@ -76,6 +76,9 @@ class ServeReport:
     admission: AdmissionStats = field(default_factory=AdmissionStats)
     breakdown: TimeBreakdown = field(default_factory=TimeBreakdown)
     bulks: List[BulkTrace] = field(default_factory=list)
+    #: Live shard migrations performed between bulks (elastic clusters;
+    #: :class:`~repro.cluster.elastic.MigrationReport` entries).
+    migrations: List[Any] = field(default_factory=list)
 
     @property
     def sustained_tps(self) -> float:
@@ -253,6 +256,17 @@ class ServeRuntime:
             last_finish = finish
             gpu_free = finish
             clock = finish
+            # Elastic clusters rebalance between bulks: the engine is
+            # idle here, so a hot-shard split delays only the next
+            # dispatch (its cost shows up as interconnect time).
+            rebalance = getattr(self.engine, "maybe_rebalance", None)
+            if rebalance is not None:
+                migration = rebalance()
+                if migration is not None:
+                    report.migrations.append(migration)
+                    report.breakdown.add("migration", migration.seconds)
+                    gpu_free = finish + migration.seconds
+                    last_finish = gpu_free
         report.latency = LatencySummary.of(
             latencies, admission=self.admission.stats
         )

@@ -1,6 +1,12 @@
-"""CLI entry: ``python -m repro.telemetry report|validate <trace>``."""
+"""CLI entry: ``python -m repro.telemetry report|validate <trace>``.
 
-from repro.telemetry.report import main
+Alias of ``python -m repro telemetry``: routes through the unified
+CLI front door (:mod:`repro.cli`).
+"""
+
+import sys
+
+from repro.cli import main
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(main(["telemetry", *sys.argv[1:]]))

@@ -43,6 +43,7 @@ DMA_PHASES = frozenset(
         "wal_sync",
         "checkpoint",
         "replication",
+        "migration",
         "sync",
     }
 )

@@ -1,0 +1,112 @@
+"""The unified CLI front door (``python -m repro``).
+
+The old entry points (``python -m repro.bench``, ``python -m
+repro.telemetry``) must keep working, byte-identical in behavior,
+as aliases routed through :mod:`repro.cli`.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.telemetry as telemetry
+from repro.cli import main
+from repro.telemetry.export import write_trace
+from repro.telemetry.report import main as telemetry_main
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture()
+def tiny_trace(tmp_path):
+    """A minimal but real exported trace."""
+    with telemetry.session() as session:
+        span = session.tracer.begin("bulk-1", cat=telemetry.CAT_BULK)
+        session.tracer.phase("execution", 0.25)
+        session.tracer.end(span)
+    path = tmp_path / "trace.json"
+    write_trace(str(path), session.tracer, session.metrics)
+    return str(path)
+
+
+def run_module(module_args, cwd=None):
+    return subprocess.run(
+        [sys.executable, "-m", *module_args],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+        cwd=cwd,
+    )
+
+
+class TestFrontDoor:
+    def test_no_args_prints_usage_and_fails(self, capsys):
+        assert main([]) == 2
+        assert "usage: python -m repro" in capsys.readouterr().out
+
+    def test_help_prints_usage_and_succeeds(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        for command in ("bench", "telemetry", "migrate-demo"):
+            assert command in out
+
+    def test_unknown_command_fails(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "frobnicate" in capsys.readouterr().err
+
+    def test_telemetry_report_matches_direct_entry(self, tiny_trace, capsys):
+        """`repro telemetry report` == `repro.telemetry report`."""
+        assert telemetry_main(["report", tiny_trace]) == 0
+        direct = capsys.readouterr().out
+        assert main(["telemetry", "report", tiny_trace]) == 0
+        routed = capsys.readouterr().out
+        assert routed == direct
+        assert "execution" in routed
+
+    def test_telemetry_validate_matches_direct_entry(
+        self, tiny_trace, capsys
+    ):
+        assert telemetry_main(["validate", tiny_trace]) == 0
+        direct = capsys.readouterr().out
+        assert main(["telemetry", "validate", tiny_trace]) == 0
+        assert capsys.readouterr().out == direct
+
+    def test_bench_delegates_to_harness(self, monkeypatch):
+        """`repro bench` hands argv straight to the bench harness."""
+        seen = {}
+
+        def fake_main(argv=None):
+            seen["argv"] = argv
+            return 0
+
+        import repro.bench.harness as harness
+
+        monkeypatch.setattr(harness, "main", fake_main)
+        assert main(["bench", "--out", "X.json"]) == 0
+        assert seen["argv"] == ["--out", "X.json"]
+
+
+class TestAliases:
+    """The old `-m` spellings still work and match the front door."""
+
+    def test_python_m_repro_telemetry_identical(self, tiny_trace):
+        old = run_module(["repro.telemetry", "report", tiny_trace])
+        new = run_module(["repro", "telemetry", "report", tiny_trace])
+        assert old.returncode == new.returncode == 0
+        assert old.stdout == new.stdout
+
+    def test_python_m_repro_bench_help_identical(self):
+        old = run_module(["repro.bench", "--help"])
+        new = run_module(["repro", "bench", "--help"])
+        assert old.returncode == new.returncode == 0
+        assert old.stdout == new.stdout
+        assert "--out" in old.stdout
+
+    def test_migrate_demo_runs(self):
+        demo = run_module(["repro", "migrate-demo", "--txns", "60"])
+        assert demo.returncode == 0, demo.stderr
+        assert "range table (before):" in demo.stdout
+        assert "range table (after):" in demo.stdout
+        assert "migrated [" in demo.stdout

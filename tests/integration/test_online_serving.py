@@ -397,3 +397,66 @@ class TestArrivalRateRealism:
         assert starts == sorted(starts)
         times = np.array([t for _n, _p, t in arrivals])
         assert np.all(np.diff(times) >= 0)
+
+
+class TestShedAttributionAfterMigration:
+    """Regression: ``LatencySummary.shed_by_shard`` keys must follow
+    the live router, not the range table that existed at serve start.
+
+    Admission routes every arrival through the cluster's router *at
+    offer time*, and a live migration swaps the range table in place
+    on that same router object -- so a rejection of a moved key is
+    charged to the shard whose queue actually turned it away (the new
+    owner), never to the range's pre-swap owner.
+    """
+
+    def test_shed_by_shard_tracks_live_router_swap(self):
+        from repro import MigrationPlan
+        from repro.serve import Arrival
+        from repro.serve.metrics import LatencySummary
+
+        cluster = ClusterTx(
+            build_ledger_db(),
+            procedures=LEDGER_PROCEDURES,
+            n_shards=2,
+            router="range",
+        )
+        assert cluster.router.range_table == ((0, 32, 0), (32, 64, 1))
+        admission = AdmissionController(
+            max_pending=1 << 10,
+            max_pending_per_shard=2,
+            router=cluster.router,
+            registry=cluster.registry,
+        )
+
+        def deposit(key: int, t: float) -> Arrival:
+            return Arrival("deposit", (key, 1), t)
+
+        # Saturate shard 1's queue, then shed one arrival against it.
+        assert admission.offer(deposit(40, 0.0), cluster.pool)
+        assert admission.offer(deposit(41, 0.1), cluster.pool)
+        assert not admission.offer(deposit(42, 0.2), cluster.pool)
+        assert admission.stats.rejected_by_shard == {1: 1}
+
+        # Live-migrate [16, 32) onto shard 1 mid-serving.
+        report = cluster.migrate(
+            MigrationPlan(src=0, dst=1, key_lo=16, key_hi=32)
+        )
+        assert report.moved_rows > 0
+        deposit_type = cluster.registry.get("deposit")
+        assert cluster.router.shards_of(deposit_type, (20, 1)) == (
+            frozenset({1})
+        )
+
+        # Key 20 now belongs to shard 1, whose queue is still full:
+        # the shed is charged to shard 1.  Stale attribution would
+        # both admit the arrival (shard 0 has room) and charge any
+        # shed to shard 0.
+        assert not admission.offer(deposit(20, 0.3), cluster.pool)
+        assert admission.stats.rejected_by_shard == {1: 2}
+        # Shard 0 keeps admitting the keys it still owns.
+        assert admission.offer(deposit(5, 0.4), cluster.pool)
+
+        summary = LatencySummary.of([], admission.stats)
+        assert summary.shed == 2
+        assert summary.shed_by_shard == {1: 2}

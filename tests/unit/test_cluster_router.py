@@ -62,6 +62,75 @@ class TestRouters:
             make_router("round-robin", 4)
 
 
+class TestRangeTable:
+    """Range-table edge cases exposed by live splits."""
+
+    def test_initial_table_matches_arithmetic_slices(self):
+        router = RangeShardRouter(4, key_space=100)
+        assert router.range_table == (
+            (0, 25, 0), (25, 50, 1), (50, 75, 2), (75, 100, 3)
+        )
+        assert router.table_version == 0
+
+    def test_split_moves_range_and_reports_segments(self):
+        router = RangeShardRouter(4, key_space=100)
+        moved = router.split(60, 75, dst=3)
+        assert moved == [(60, 75, 2)]
+        assert router.shard_of_key(59) == 2
+        assert router.shard_of_key(60) == 3
+        assert router.table_version == 1
+        # Vectorized lookups agree with the scalar path post-swap.
+        import numpy as np
+
+        keys = np.arange(100)
+        vec = router.shard_of_keys(keys)
+        assert [router.shard_of_key(int(k)) for k in keys] == list(vec)
+
+    def test_adjacent_ranges_merge(self):
+        router = RangeShardRouter(4, key_space=100)
+        # [60, 75) -> shard 3, which already owns [75, 100): one entry.
+        router.split(60, 75, dst=3)
+        assert (60, 100, 3) in router.range_table
+        assert router.ranges_of(3) == ((60, 100),)
+        # Splitting a range back to its current owner is a no-op move.
+        assert router.split(80, 90, dst=3) == []
+        assert router.ranges_of(3) == ((60, 100),)
+
+    def test_single_key_range(self):
+        router = RangeShardRouter(2, key_space=10)
+        moved = router.split(7, 8, dst=0)
+        assert moved == [(7, 8, 1)]
+        assert router.shard_of_key(6) == 1
+        assert router.shard_of_key(7) == 0
+        assert router.shard_of_key(8) == 1
+        assert router.ranges_of(0) == ((0, 5), (7, 8))
+        # The table stays gap-free and ordered.
+        table = router.range_table
+        assert table[0][0] == 0 and table[-1][1] == 10
+        assert all(a[1] == b[0] for a, b in zip(table, table[1:]))
+
+    def test_split_spanning_multiple_owners(self):
+        router = RangeShardRouter(4, key_space=100)
+        moved = router.split(20, 55, dst=0)
+        assert moved == [(25, 50, 1), (50, 55, 2)]
+        assert router.ranges_of(0) == ((0, 55),)
+        assert router.ranges_of(1) == ()
+
+    def test_hash_router_rejects_split(self):
+        router = HashShardRouter(4)
+        with pytest.raises(ConfigError, match="no range table"):
+            router.split(0, 10, dst=1)
+
+    def test_invalid_split_arguments_rejected(self):
+        router = RangeShardRouter(2, key_space=10)
+        with pytest.raises(ConfigError):
+            router.split(3, 3, dst=0)  # empty range
+        with pytest.raises(ConfigError):
+            router.split(5, 11, dst=0)  # beyond key space
+        with pytest.raises(ConfigError):
+            router.split(0, 5, dst=2)  # no such shard
+
+
 class TestClassification:
     def test_single_item_type_is_single_shard(self):
         router = HashShardRouter(4)
