@@ -1,0 +1,29 @@
+"""Scenario harness: noisy-neighbor tenant isolation, quotas on vs.
+off on identical arrivals (SCENARIO-1).
+
+Run: pytest benchmarks/bench_scenarios.py --benchmark-only -q
+The reproduced series are printed and saved to benchmarks/results/.
+"""
+
+import os
+
+from repro.bench.scenarios import scenario_noisy_neighbor_isolation
+
+
+def test_scenario_noisy_neighbor_isolation(figure_runner):
+    result = figure_runner(scenario_noisy_neighbor_isolation)
+    by_mode = {row[0]: row for row in result.rows}
+    quotas, no_quotas = by_mode["quotas"], by_mode["no_quotas"]
+    aggressor_shed, victim_shed, victim_p95_ms, victim_slo_ms = 3, 4, 5, 6
+    # Isolation held: the victim stayed whole and within its SLO while
+    # the aggressor's overflow was shed at its quota.
+    assert quotas[victim_shed] == 0
+    assert quotas[victim_p95_ms] <= quotas[victim_slo_ms]
+    assert quotas[aggressor_shed] > 0
+    # The no-isolation twin admitted the whole flood.
+    assert no_quotas[aggressor_shed] == 0
+    if not os.environ.get("REPRO_BENCH_SMOKE"):
+        # At full scale the unchecked aggressor pushes the victim past
+        # its SLO -- the quota is what buys the margin, not capacity.
+        assert no_quotas[victim_p95_ms] > no_quotas[victim_slo_ms]
+        assert no_quotas[victim_p95_ms] > quotas[victim_p95_ms]

@@ -71,6 +71,16 @@ from repro.serve import (
     ServeRuntime,
     SLOConfig,
 )
+from repro.scenarios import (
+    Scenario,
+    ScenarioRun,
+    TenantSpec,
+    VerificationReport,
+    run_scenario,
+    verify_scenario,
+)
+from repro.scenarios import all_scenarios as all_scenarios
+from repro.scenarios import names as scenario_names
 from repro.storage.catalog import Database, StoreAdapter
 from repro.storage.schema import ColumnDef, DataType, TableSchema
 from repro.telemetry import TelemetrySession
@@ -134,6 +144,14 @@ __all__ = [
     "SLOConfig",
     "ServeReport",
     "ServeRuntime",
+    "Scenario",
+    "ScenarioRun",
+    "TenantSpec",
+    "VerificationReport",
+    "all_scenarios",
+    "run_scenario",
+    "scenario_names",
+    "verify_scenario",
     "Database",
     "StoreAdapter",
     "ColumnDef",

@@ -229,6 +229,7 @@ def trajectory_figures() -> Dict[str, Callable[[], FigureResult]]:
     from repro.bench import coverage as bench_coverage
     from repro.bench import durability as bench_durability
     from repro.bench import elastic as bench_elastic
+    from repro.bench import scenarios as bench_scenarios
     from repro.bench import serving as bench_serving
     from repro.bench.figures import ALL_FIGURES
 
@@ -239,6 +240,7 @@ def trajectory_figures() -> Dict[str, Callable[[], FigureResult]]:
     fns.update(bench_backend.FIGURES)
     fns.update(bench_coverage.FIGURES)
     fns.update(bench_elastic.FIGURES)
+    fns.update(bench_scenarios.FIGURES)
     return fns
 
 

@@ -1,0 +1,65 @@
+"""Declarative multi-tenant scenarios with built-in verifiers.
+
+A :class:`Scenario` composes a workload mix, N tenants with per-tenant
+SLOs and admission quotas, an arrival shape per tenant (diurnal,
+flash-crowd, poisson, bursty), and failure injection (shard kills,
+forced live migrations). The runner executes it on the sharded
+runtime; the verifiers make every scenario an end-to-end correctness
+test (Definition-1 vs. the serial oracle, quota/SLO isolation,
+byte-identical post-fault recovery). See ``docs/SCENARIOS.md``.
+
+Importing this package registers the seed scenarios
+(``flash_sale``, ``noisy_neighbor``, ``block_execution``).
+"""
+
+from repro.scenarios.registry import (
+    ForcedMigration,
+    Scenario,
+    ScenarioSetup,
+    ShardKill,
+    TenantSpec,
+    all_scenarios,
+    get,
+    names,
+    register,
+    unregister,
+)
+from repro.scenarios.runner import (
+    SMOKE_ENV,
+    ScenarioRun,
+    default_scale,
+    run_scenario,
+)
+from repro.scenarios.verify import (
+    Check,
+    VerificationReport,
+    check_definition1,
+    check_isolation,
+    verify_recovery,
+    verify_scenario,
+)
+from repro.scenarios import seeds as seeds  # noqa: PLC0414 - registers seeds
+
+__all__ = [
+    "Check",
+    "ForcedMigration",
+    "Scenario",
+    "ScenarioRun",
+    "ScenarioSetup",
+    "ShardKill",
+    "SMOKE_ENV",
+    "TenantSpec",
+    "VerificationReport",
+    "all_scenarios",
+    "check_definition1",
+    "check_isolation",
+    "default_scale",
+    "get",
+    "names",
+    "register",
+    "run_scenario",
+    "seeds",
+    "unregister",
+    "verify_recovery",
+    "verify_scenario",
+]

@@ -1,0 +1,258 @@
+"""The three seed scenarios, registered at import.
+
+* ``flash_sale`` -- a SmallBank hot-item flash crowd: shopper traffic
+  spikes an order of magnitude onto a zipfian-hot account range while
+  a back-office tenant audits balances at a steady trickle; shard 1 is
+  killed mid-run and must recover byte-identically.
+* ``noisy_neighbor`` -- TM1 tenant isolation: an aggressor tenant
+  offers saturating bursts against a tight admission quota while the
+  victim tenant's diurnal load must keep meeting its p95 SLO. The
+  SCENARIO-1 bench runs this same scenario with quotas on vs. off.
+* ``block_execution`` -- the DiPETrans-style blockchain model: fixed
+  blocks of transfer transactions execute as conflict-graph bulks
+  (one block = one bulk), with a forced live range migration and a
+  shard kill landing between/within blocks.
+
+Each scenario's ``setup(n, seed)`` rebuilds its database from scratch,
+so runs never share mutable state -- the runner and the verifiers each
+replay from a clean copy.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.scenarios.registry import (
+    ForcedMigration,
+    Scenario,
+    ScenarioSetup,
+    ShardKill,
+    TenantSpec,
+    register,
+)
+from repro.serve.stream import Arrival
+from repro.workloads import smallbank, tm1
+from repro.workloads.base import (
+    TxnSpec,
+    bursty_arrival_times,
+    diurnal_arrival_times,
+    flash_crowd_arrival_times,
+    make_rng,
+    poisson_arrival_times,
+)
+
+#: TM1 mix restricted to single-subscriber, insert-free types: keeps
+#: every run's physical row set fixed, so byte-identity diffs compare
+#: column values only (the strongest form of the recovery check).
+_TM1_STEADY_MIX = [
+    ("tm1_get_subscriber_data", 35.0),
+    ("tm1_get_new_destination", 10.0),
+    ("tm1_get_access_data", 35.0),
+    ("tm1_update_subscriber_data", 20.0),
+]
+
+
+def _merge_tenant_arrivals(
+    *streams: "tuple[str, List[TxnSpec], np.ndarray]",
+) -> List[Arrival]:
+    """Tag each tenant's (specs, times) and merge by submit time."""
+    arrivals: List[Arrival] = []
+    for tenant, specs, times in streams:
+        if len(specs) != len(times):
+            raise ValueError(
+                f"tenant {tenant!r}: {len(specs)} specs for "
+                f"{len(times)} arrival times"
+            )
+        arrivals.extend(
+            Arrival(name, tuple(params), float(t), tenant)
+            for (name, params), t in zip(specs, times)
+        )
+    arrivals.sort(key=lambda a: a.submit_time)
+    return arrivals
+
+
+# ---------------------------------------------------------------------------
+# flash_sale: SmallBank hot item under a flash crowd + mid-run shard kill.
+# ---------------------------------------------------------------------------
+def _flash_sale_setup(n: int, seed: int) -> ScenarioSetup:
+    db = smallbank.build_database(scale_factor=1)
+    n_shoppers = max(2, (3 * n) // 4)
+    n_backoffice = max(1, n - n_shoppers)
+    shopper_specs = smallbank.generate_transactions(
+        db, n_shoppers, seed=seed, theta=1.1
+    )
+    shopper_times = flash_crowd_arrival_times(
+        make_rng(seed + 1),
+        n_shoppers,
+        base_rate_tps=40_000.0,
+        flash_at_s=0.004,
+        flash_rate_tps=150_000.0,
+        flash_duration_s=0.003,
+    )
+    backoffice_specs = smallbank.generate_transactions(
+        db,
+        n_backoffice,
+        seed=seed + 2,
+        theta=0.0,
+        mix=[("smallbank_balance", 1.0)],
+    )
+    backoffice_times = poisson_arrival_times(
+        make_rng(seed + 3), n_backoffice, 8_000.0
+    )
+    return ScenarioSetup(
+        db=db,
+        procedures=smallbank.PROCEDURES,
+        arrivals=_merge_tenant_arrivals(
+            ("shoppers", shopper_specs, shopper_times),
+            ("backoffice", backoffice_specs, backoffice_times),
+        ),
+    )
+
+
+FLASH_SALE = register(
+    Scenario(
+        name="flash_sale",
+        description=(
+            "SmallBank hot-item flash crowd: shopper load spikes ~4x "
+            "onto a zipfian-hot account range, back-office audits ride "
+            "along under their own quota, and shard 1 dies mid-run."
+        ),
+        workload="smallbank",
+        setup=_flash_sale_setup,
+        mode="serve",
+        n_txns=1600,
+        n_shards=4,
+        router="range",
+        tenants=(
+            TenantSpec("shoppers", quota=4096, slo_p95_s=0.25),
+            TenantSpec("backoffice", quota=512, slo_p95_s=0.25),
+        ),
+        faults=(ShardKill(shard=1, at_bulk=1),),
+        durable=True,
+        target_p95_s=0.02,
+        min_bulk=8,
+        max_bulk=1024,
+        seed=11,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# noisy_neighbor: TM1 aggressor vs. SLO-holding victim.
+# ---------------------------------------------------------------------------
+def _noisy_neighbor_setup(n: int, seed: int) -> ScenarioSetup:
+    db = tm1.build_database(scale_factor=1)
+    n_aggressor = max(2, (4 * n) // 5)
+    n_victim = max(2, n - n_aggressor)
+    victim_specs = tm1.generate_transactions(
+        db, n_victim, seed=seed, mix=_TM1_STEADY_MIX
+    )
+    victim_times = diurnal_arrival_times(
+        make_rng(seed + 1),
+        n_victim,
+        base_rate_tps=15_000.0,
+        peak_rate_tps=45_000.0,
+        period_s=0.02,
+    )
+    aggressor_specs = tm1.generate_transactions(
+        db, n_aggressor, seed=seed + 2, mix=_TM1_STEADY_MIX
+    )
+    aggressor_times = bursty_arrival_times(
+        make_rng(seed + 3),
+        n_aggressor,
+        rate_tps=600_000.0,
+        period_s=0.002,
+        duty=0.2,
+    )
+    return ScenarioSetup(
+        db=db,
+        procedures=tm1.PROCEDURES,
+        arrivals=_merge_tenant_arrivals(
+            ("victim", victim_specs, victim_times),
+            ("aggressor", aggressor_specs, aggressor_times),
+        ),
+    )
+
+
+NOISY_NEIGHBOR = register(
+    Scenario(
+        name="noisy_neighbor",
+        description=(
+            "TM1 tenant isolation: an aggressor bursts at ~600 ktps "
+            "against a 24-transaction quota (overflow shed) while the "
+            "victim's diurnal load must keep meeting its p95 SLO."
+        ),
+        workload="tm1",
+        setup=_noisy_neighbor_setup,
+        mode="serve",
+        n_txns=6000,
+        n_shards=4,
+        router="range",
+        tenants=(
+            TenantSpec("victim", quota=2048, slo_p95_s=0.012),
+            TenantSpec("aggressor", quota=24, expect_shed=True),
+        ),
+        faults=(),
+        durable=True,
+        target_p95_s=0.01,
+        min_bulk=32,
+        max_bulk=128,
+        seed=23,
+    )
+)
+
+
+# ---------------------------------------------------------------------------
+# block_execution: blockchain blocks as conflict-graph bulks.
+# ---------------------------------------------------------------------------
+_BLOCK_SIZE = 48
+
+
+def _block_execution_setup(n: int, seed: int) -> ScenarioSetup:
+    db = smallbank.build_database(scale_factor=1)
+    specs = smallbank.generate_transactions(
+        db,
+        n,
+        seed=seed,
+        theta=0.8,
+        mix=[
+            ("smallbank_send_payment", 55.0),
+            ("smallbank_deposit_checking", 25.0),
+            ("smallbank_amalgamate", 10.0),
+            ("smallbank_balance", 10.0),
+        ],
+    )
+    blocks = [
+        specs[i:i + _BLOCK_SIZE]
+        for i in range(0, len(specs), _BLOCK_SIZE)
+    ]
+    return ScenarioSetup(
+        db=db, procedures=smallbank.PROCEDURES, blocks=blocks
+    )
+
+
+BLOCK_EXECUTION = register(
+    Scenario(
+        name="block_execution",
+        description=(
+            "Blockchain block execution (DiPETrans): fixed blocks of "
+            "payment transactions run as conflict-graph bulks, with a "
+            "forced live range migration and a mid-block shard kill."
+        ),
+        workload="smallbank",
+        setup=_block_execution_setup,
+        mode="blocks",
+        n_txns=1200,
+        n_shards=4,
+        router="range",
+        tenants=(),
+        faults=(
+            ShardKill(shard=3, at_bulk=1),
+            ForcedMigration(src=0, dst=2, key_lo=125, key_hi=250, at_bulk=2),
+        ),
+        durable=True,
+        seed=31,
+    )
+)

@@ -1,0 +1,243 @@
+"""Scenario verifiers: every scenario doubles as a correctness test.
+
+Three first-class checks, each returning a :class:`Check`:
+
+* **definition-1** -- the run's final merged logical state must equal
+  a serial replay of the *admitted* transactions, in timestamp order,
+  on the single-core CPU oracle (:class:`~repro.cpu.engine.CpuEngine`
+  with ``num_cores=1``). Shedding changes *which* transactions run,
+  never the equivalence of the ones that did.
+* **isolation** -- no tenant's pending depth ever exceeded its quota
+  (the admission high-water mark is the witness), every tenant with an
+  SLO met its p95, and every tenant declared ``expect_shed`` actually
+  was shed (its offered load exceeded its quota).
+* **recovery** -- re-run the scenario twice on identical workloads
+  (admission unbounded, so shedding cannot legitimately diverge):
+  once fault-free, once with the shard kills injected. After automatic
+  failover the two runs must agree byte-for-byte per shard
+  (:func:`~repro.cluster.durability.replay.states_identical`) and on
+  every commit/abort outcome.
+
+:func:`verify_scenario` bundles the applicable checks into a
+:class:`VerificationReport`; the CLI's ``scenarios verify`` and the CI
+smoke lane run it for every registered scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.cluster.durability.replay import states_identical
+from repro.core.txn import TransactionPool
+from repro.cpu.engine import CpuEngine
+from repro.scenarios.registry import Scenario, ShardKill, get
+from repro.scenarios.runner import ScenarioRun, run_scenario
+
+
+@dataclass(frozen=True)
+class Check:
+    """Outcome of one verifier."""
+
+    name: str
+    passed: bool
+    detail: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        return f"[{status}] {self.name}: {self.detail}"
+
+
+@dataclass
+class VerificationReport:
+    """All checks run against one scenario."""
+
+    scenario: str
+    checks: List[Check]
+
+    @property
+    def ok(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def format(self) -> str:
+        lines = [f"scenario {self.scenario}:"]
+        lines.extend(f"  {check}" for check in self.checks)
+        lines.append(f"  => {'OK' if self.ok else 'FAILED'}")
+        return "\n".join(lines)
+
+
+def check_definition1(scenario: Scenario, run: ScenarioRun) -> Check:
+    """Final state == serial oracle replay of the admitted set."""
+    setup = scenario.setup(run.n, run.seed)
+    oracle = CpuEngine(setup.db, procedures=setup.procedures, num_cores=1)
+    pool = TransactionPool()
+    replayed = [
+        pool.submit(t.type_name, t.params, t.submit_time)
+        for t in sorted(run.admitted, key=lambda t: t.txn_id)
+    ]
+    oracle.execute(replayed)
+    cluster_state = run.logical_state
+    oracle_state = setup.db.logical_state()
+    if cluster_state == oracle_state:
+        return Check(
+            "definition-1",
+            True,
+            f"{len(replayed)} admitted txns replay to identical logical "
+            "state on the serial oracle",
+        )
+    diverged = sorted(
+        name
+        for name in set(cluster_state) | set(oracle_state)
+        if cluster_state.get(name) != oracle_state.get(name)
+    )
+    return Check(
+        "definition-1",
+        False,
+        f"logical state diverges from the serial oracle in tables "
+        f"{diverged}",
+    )
+
+
+def check_isolation(scenario: Scenario, run: ScenarioRun) -> Check:
+    """Per-tenant quota and SLO isolation held for the whole run."""
+    if not scenario.tenants or run.serve is None:
+        return Check(
+            "isolation", True, "no tenants declared; nothing to isolate"
+        )
+    stats = run.serve.admission
+    problems: List[str] = []
+    details: List[str] = []
+    for tenant in scenario.tenants:
+        high = stats.tenant_high_water.get(tenant.name, 0)
+        shed = stats.rejected_by_tenant.get(tenant.name, 0)
+        if high > tenant.quota:
+            problems.append(
+                f"{tenant.name} pending peaked at {high} > quota "
+                f"{tenant.quota}"
+            )
+        if tenant.slo_p95_s is not None:
+            summary = run.tenants.get(tenant.name)
+            p95 = summary.p95_total_s if summary is not None else float("inf")
+            if p95 > tenant.slo_p95_s:
+                problems.append(
+                    f"{tenant.name} p95 {p95 * 1e3:.2f}ms breaches SLO "
+                    f"{tenant.slo_p95_s * 1e3:.2f}ms"
+                )
+            else:
+                details.append(
+                    f"{tenant.name} p95 {p95 * 1e3:.2f}ms <= SLO "
+                    f"{tenant.slo_p95_s * 1e3:.2f}ms"
+                )
+        if tenant.expect_shed and shed == 0:
+            problems.append(
+                f"{tenant.name} was expected to overflow its quota but "
+                "nothing was shed"
+            )
+        elif tenant.expect_shed:
+            details.append(f"{tenant.name} shed {shed} (as declared)")
+        details.append(
+            f"{tenant.name} peak pending {high}/{tenant.quota}"
+        )
+    if problems:
+        return Check("isolation", False, "; ".join(problems))
+    return Check("isolation", True, "; ".join(details))
+
+
+def verify_recovery(
+    scenario: Scenario,
+    *,
+    kills: Optional[Sequence[ShardKill]] = None,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> Check:
+    """Byte-identical per-shard state, faulted vs. fault-free twin.
+
+    Both runs use unbounded admission (identical admitted sets) and
+    keep the scenario's forced migrations (identical topology); only
+    the kills differ. ``kills`` defaults to the scenario's declared
+    ones, or one canonical mid-run kill when it declares none.
+    """
+    if kills is None:
+        kills = scenario.kills or (ShardKill(shard=0, at_bulk=1),)
+    reference = run_scenario(
+        scenario,
+        scale=scale,
+        seed=seed,
+        faults="migrations",
+        unbounded_admission=True,
+    )
+    faulted = run_scenario(
+        scenario,
+        scale=scale,
+        seed=seed,
+        faults="migrations",
+        extra_kills=kills,
+        unbounded_admission=True,
+    )
+    assert reference.cluster is not None and faulted.cluster is not None
+    if [t.txn_id for t in reference.admitted] != [
+        t.txn_id for t in faulted.admitted
+    ]:
+        return Check(
+            "recovery",
+            False,
+            "faulted and fault-free twins admitted different workloads "
+            "(unbounded admission should make this impossible)",
+        )
+    problems: List[str] = []
+    for shard in range(scenario.n_shards):
+        if not states_identical(
+            faulted.cluster.shards[shard].db,
+            reference.cluster.shards[shard].db,
+        ):
+            problems.append(f"shard {shard} physical state diverged")
+    def outcomes(run: ScenarioRun) -> dict:
+        assert run.cluster is not None
+        out = {}
+        for t in run.admitted:
+            result = run.cluster.results.get(t.txn_id)
+            out[t.txn_id] = None if result is None else result.committed
+        return out
+
+    outcomes_ref = outcomes(reference)
+    outcomes_faulted = outcomes(faulted)
+    if outcomes_ref != outcomes_faulted:
+        flipped = sum(
+            1
+            for txn_id, committed in outcomes_ref.items()
+            if outcomes_faulted.get(txn_id) != committed
+        )
+        problems.append(f"{flipped} commit/abort outcomes flipped")
+    if problems:
+        return Check(
+            "recovery",
+            False,
+            f"after {len(kills)} injected kill(s): " + "; ".join(problems),
+        )
+    return Check(
+        "recovery",
+        True,
+        f"{len(kills)} kill(s) injected; all {scenario.n_shards} shards "
+        "byte-identical to the fault-free twin, every outcome preserved",
+    )
+
+
+def verify_scenario(
+    scenario: Union[Scenario, str],
+    *,
+    scale: Optional[float] = None,
+    seed: Optional[int] = None,
+) -> VerificationReport:
+    """Run every applicable verifier against one scenario."""
+    if isinstance(scenario, str):
+        scenario = get(scenario)
+    run = run_scenario(scenario, scale=scale, seed=seed)
+    checks = [
+        check_definition1(scenario, run),
+        check_isolation(scenario, run),
+    ]
+    if scenario.durable:
+        checks.append(
+            verify_recovery(scenario, scale=scale, seed=seed)
+        )
+    return VerificationReport(scenario=scenario.name, checks=checks)

@@ -18,6 +18,7 @@ from repro.serve.metrics import (
     Percentiles,
     TxnLatency,
     percentile,
+    tenant_summaries,
 )
 from repro.serve.runtime import BulkTrace, ServeReport, ServeRuntime, serve
 from repro.serve.stream import Arrival, ArrivalStream
@@ -39,4 +40,5 @@ __all__ = [
     "TxnLatency",
     "percentile",
     "serve",
+    "tenant_summaries",
 ]

@@ -7,6 +7,11 @@ burst turns into unbounded queue growth and unbounded latency. The
 offered:
 
 * a **global** cap on pending (admitted-but-unexecuted) transactions;
+* optionally a **per-tenant** quota: each tenant named in
+  ``tenant_quotas`` may hold at most that many pending transactions,
+  so a saturating tenant sheds its own overflow instead of crowding
+  everyone else out of the global buffer (the isolation contract the
+  scenario verifiers assert);
 * optionally a **per-shard** cap: arrivals are routed through the
   cluster's :class:`~repro.cluster.router.ShardRouter` at admission
   time, so one hot shard saturating its queue sheds its own load
@@ -22,7 +27,7 @@ Definition-1 timestamps) agree with arrival order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.cluster.router import ShardRouter
 from repro.core.procedure import ProcedureRegistry
@@ -41,6 +46,12 @@ class AdmissionStats:
     rejected_by_shard: Dict[int, int] = field(default_factory=dict)
     #: Deepest the global queue ever got (pending transactions).
     high_water: int = 0
+    #: Per-tenant splits of the counters above (tenanted arrivals only).
+    admitted_by_tenant: Dict[str, int] = field(default_factory=dict)
+    rejected_by_tenant: Dict[str, int] = field(default_factory=dict)
+    #: Deepest each tenant's share of the queue ever got -- the number
+    #: the quota-isolation verifier compares against the quota.
+    tenant_high_water: Dict[str, int] = field(default_factory=dict)
 
     @property
     def rejection_rate(self) -> float:
@@ -57,6 +68,8 @@ class AdmissionController:
         max_pending_per_shard: Optional[int] = None,
         router: Optional[ShardRouter] = None,
         registry: Optional[ProcedureRegistry] = None,
+        tenant_quotas: Optional[Dict[str, int]] = None,
+        record_admitted: bool = False,
     ) -> None:
         if max_pending < 1:
             raise ConfigError("max_pending must be >= 1")
@@ -68,13 +81,31 @@ class AdmissionController:
                     "per-shard admission limits need a router and a "
                     "procedure registry to route arrivals"
                 )
+        if tenant_quotas is not None:
+            for tenant, quota in tenant_quotas.items():
+                if not tenant:
+                    raise ConfigError("tenant names must be non-empty")
+                if quota < 1:
+                    raise ConfigError(
+                        f"tenant {tenant!r} quota must be >= 1"
+                    )
         self.max_pending = max_pending
         self.max_pending_per_shard = max_pending_per_shard
         self.router = router
         self.registry = registry
+        self.tenant_quotas = (
+            dict(tenant_quotas) if tenant_quotas is not None else None
+        )
         self.stats = AdmissionStats()
+        #: Admitted transactions in admission (= timestamp) order, kept
+        #: only when asked: the scenario verifiers replay this log
+        #: through the serial oracle for Definition-1 checks.
+        self.record_admitted = record_admitted
+        self.admitted_log: List[Transaction] = []
         self._shard_depth: Dict[int, int] = {}
         self._shards_of_txn: Dict[int, "frozenset[int]"] = {}
+        self._tenant_depth: Dict[str, int] = {}
+        self._tenant_of_txn: Dict[int, str] = {}
 
     # ------------------------------------------------------------------
     def _route(self, arrival: Arrival) -> "frozenset[int]":
@@ -92,9 +123,18 @@ class AdmissionController:
         K-SET), which still occupy buffer space.
         """
         self.stats.offered += 1
+        tenant = arrival.tenant
         if len(pool) >= self.max_pending:
-            self.stats.rejected += 1
+            self._reject(tenant)
             return False
+        if tenant and self.tenant_quotas is not None:
+            quota = self.tenant_quotas.get(tenant)
+            if (
+                quota is not None
+                and self._tenant_depth.get(tenant, 0) >= quota
+            ):
+                self._reject(tenant)
+                return False
         shards: Optional[frozenset] = None
         if self.max_pending_per_shard is not None:
             shards = self._route(arrival)
@@ -103,7 +143,7 @@ class AdmissionController:
                     self._shard_depth.get(shard, 0)
                     >= self.max_pending_per_shard
                 ):
-                    self.stats.rejected += 1
+                    self._reject(tenant)
                     by_shard = self.stats.rejected_by_shard
                     by_shard[shard] = by_shard.get(shard, 0) + 1
                     return False
@@ -114,20 +154,41 @@ class AdmissionController:
             self._shards_of_txn[txn.txn_id] = shards
             for shard in shards:
                 self._shard_depth[shard] = self._shard_depth.get(shard, 0) + 1
+        if tenant:
+            self._tenant_of_txn[txn.txn_id] = tenant
+            depth = self._tenant_depth.get(tenant, 0) + 1
+            self._tenant_depth[tenant] = depth
+            high = self.stats.tenant_high_water
+            high[tenant] = max(high.get(tenant, 0), depth)
+            by_tenant = self.stats.admitted_by_tenant
+            by_tenant[tenant] = by_tenant.get(tenant, 0) + 1
+        if self.record_admitted:
+            self.admitted_log.append(txn)
         self.stats.admitted += 1
         self.stats.high_water = max(self.stats.high_water, len(pool))
         return True
 
+    def _reject(self, tenant: str) -> None:
+        self.stats.rejected += 1
+        if tenant:
+            by_tenant = self.stats.rejected_by_tenant
+            by_tenant[tenant] = by_tenant.get(tenant, 0) + 1
+
     def note_executed(self, transactions: Iterable[Transaction]) -> None:
-        """Release per-shard slots once transactions finish for good.
+        """Release per-shard and per-tenant slots once transactions
+        finish for good.
 
         Called with the *executed* (not merely dequeued) transactions:
         deferred/requeued ones keep their slots because they still sit
         in the pool.
         """
-        if self.max_pending_per_shard is None:
-            return
         for txn in transactions:
+            tenant = self._tenant_of_txn.pop(txn.txn_id, None)
+            if tenant is not None:
+                depth = self._tenant_depth.get(tenant, 0)
+                self._tenant_depth[tenant] = max(0, depth - 1)
+            if self.max_pending_per_shard is None:
+                continue
             shards = self._shards_of_txn.pop(txn.txn_id, None)
             if not shards:
                 continue
@@ -137,3 +198,15 @@ class AdmissionController:
 
     def shard_depth(self, shard: int) -> int:
         return self._shard_depth.get(shard, 0)
+
+    def tenant_depth(self, tenant: str) -> int:
+        """Pending (admitted-but-unexecuted) transactions of a tenant."""
+        return self._tenant_depth.get(tenant, 0)
+
+    def tenant_of(self, txn_id: int) -> str:
+        """Tenant an admitted, still-pending transaction came from.
+
+        Valid until :meth:`note_executed` releases the transaction;
+        untenanted (or unknown) ids map to ``""``.
+        """
+        return self._tenant_of_txn.get(txn_id, "")

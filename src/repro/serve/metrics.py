@@ -20,7 +20,7 @@ means.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.gpu.costmodel import TimeBreakdown
 from repro.telemetry.metrics import Histogram
@@ -52,6 +52,9 @@ class TxnLatency:
     finish_s: float
     exec_s: float
     transfer_s: float
+    #: Originating tenant ("" = untenanted), carried from admission so
+    #: the report can split percentiles per tenant.
+    tenant: str = ""
 
     @property
     def queue_s(self) -> float:
@@ -145,6 +148,33 @@ class LatencySummary:
     @property
     def p95_total_s(self) -> float:
         return self.components[TOTAL].p95 if self.components else 0.0
+
+
+def tenant_summaries(
+    latencies: Sequence[TxnLatency],
+    admission: "Optional[AdmissionStats]" = None,
+) -> Dict[str, LatencySummary]:
+    """Per-tenant :class:`LatencySummary` over tenanted transactions.
+
+    Tenants that only ever got shed (every arrival rejected) still
+    appear, with ``count=0`` -- an isolation report that silently
+    dropped the tenant it throttled would hide exactly the behaviour
+    it exists to show.
+    """
+    groups: Dict[str, List[TxnLatency]] = {}
+    for latency in latencies:
+        if latency.tenant:
+            groups.setdefault(latency.tenant, []).append(latency)
+    tenants = set(groups)
+    if admission is not None:
+        tenants.update(admission.rejected_by_tenant)
+    out: Dict[str, LatencySummary] = {}
+    for tenant in sorted(tenants):
+        summary = LatencySummary.of(groups.get(tenant, []))
+        if admission is not None:
+            summary.shed = admission.rejected_by_tenant.get(tenant, 0)
+        out[tenant] = summary
+    return out
 
 
 def split_service(breakdown: TimeBreakdown) -> "tuple[float, float]":

@@ -43,6 +43,7 @@ from repro.serve.metrics import (
     Percentiles,
     TxnLatency,
     split_service,
+    tenant_summaries,
 )
 from repro.serve.stream import ArrivalLike, ArrivalStream
 
@@ -79,6 +80,9 @@ class ServeReport:
     #: Live shard migrations performed between bulks (elastic clusters;
     #: :class:`~repro.cluster.elastic.MigrationReport` entries).
     migrations: List[Any] = field(default_factory=list)
+    #: Per-tenant latency summaries (tenanted arrivals only; see
+    #: :func:`~repro.serve.metrics.tenant_summaries`).
+    tenants: Dict[str, LatencySummary] = field(default_factory=dict)
 
     @property
     def sustained_tps(self) -> float:
@@ -155,6 +159,7 @@ class ServeRuntime:
         self._trace_bulk_n = 0
         self._trace_prev_offered = 0
         self._trace_prev_rejected = 0
+        self._trace_prev_tenant_rejected: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def _admit_until(self, stream: ArrivalStream, clock: float) -> None:
@@ -270,6 +275,9 @@ class ServeRuntime:
         report.latency = LatencySummary.of(
             latencies, admission=self.admission.stats
         )
+        report.tenants = tenant_summaries(
+            latencies, admission=self.admission.stats
+        )
         report.admission = self.admission.stats
         if first_submit is not None:
             report.elapsed_s = max(last_finish - first_submit, 1e-12)
@@ -354,6 +362,17 @@ class ServeRuntime:
             metrics.gauge(
                 "shard_queue_depth", "queued transactions per home shard"
             ).set(depth, shard=shard)
+        for tenant in sorted(stats.admitted_by_tenant):
+            metrics.gauge(
+                "tenant_queue_depth", "queued transactions per tenant"
+            ).set(self.admission.tenant_depth(tenant), tenant=tenant)
+        for tenant, rejected in sorted(stats.rejected_by_tenant.items()):
+            prev = self._trace_prev_tenant_rejected.get(tenant, 0)
+            if rejected > prev:
+                metrics.counter(
+                    "tenant_sheds", "arrivals shed per tenant"
+                ).inc(rejected - prev, tenant=tenant)
+                self._trace_prev_tenant_rejected[tenant] = rejected
         wait_hist = metrics.histogram(
             "queue_wait_seconds", "admission-to-dispatch wait per txn"
         )
@@ -383,6 +402,7 @@ class ServeRuntime:
                 finish_s=finish,
                 exec_s=exec_s,
                 transfer_s=transfer_s,
+                tenant=self.admission.tenant_of(r.txn_id),
             )
             for r in result.results
         ]

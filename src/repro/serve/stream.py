@@ -21,8 +21,14 @@ from typing import Any, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.errors import ServeError
 
-#: Raw forms accepted wherever an arrival stream is expected.
-ArrivalLike = Union["Arrival", Tuple[str, tuple, float]]
+#: Raw forms accepted wherever an arrival stream is expected: an
+#: ``Arrival``, a ``(type, params, submit_time)`` triple, or a
+#: ``(type, params, submit_time, tenant)`` quadruple.
+ArrivalLike = Union[
+    "Arrival",
+    Tuple[str, tuple, float],
+    Tuple[str, tuple, float, str],
+]
 
 
 @dataclass(frozen=True)
@@ -32,13 +38,17 @@ class Arrival:
     type_name: str
     params: Tuple[Any, ...]
     submit_time: float
+    #: Originating tenant ("" = untenanted). Admission control can
+    #: enforce per-tenant quotas and the latency report splits by it.
+    tenant: str = ""
 
     @classmethod
     def of(cls, item: ArrivalLike) -> "Arrival":
         if isinstance(item, Arrival):
             return item
-        type_name, params, submit_time = item
-        return cls(type_name, tuple(params), float(submit_time))
+        type_name, params, submit_time = item[0], item[1], item[2]
+        tenant = str(item[3]) if len(item) > 3 else ""
+        return cls(type_name, tuple(params), float(submit_time), tenant)
 
 
 class ArrivalStream:

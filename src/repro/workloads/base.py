@@ -146,6 +146,17 @@ def paired_items(
 # ---------------------------------------------------------------------------
 # Arrival-time generators (online serving workloads).
 # ---------------------------------------------------------------------------
+def _require_arrivals(n: int) -> None:
+    """Every generator promises at least one arrival.
+
+    ``n < 1`` used to return a silently empty stream, which a serve
+    loop treats as "the stream ended before it began" -- a confusing
+    no-op far from the misconfiguration that caused it.
+    """
+    if n < 1:
+        raise ValueError("need at least one arrival (n >= 1)")
+
+
 def uniform_arrival_times(
     n: int, rate_tps: float, start: float = 0.0
 ) -> np.ndarray:
@@ -154,6 +165,7 @@ def uniform_arrival_times(
     The arrival model of the paper's response-time experiments
     (Figures 9, 15), exposed for the online ingest runtime.
     """
+    _require_arrivals(n)
     if rate_tps <= 0:
         raise ValueError("rate_tps must be positive")
     return start + np.arange(n, dtype=np.float64) / rate_tps
@@ -163,6 +175,7 @@ def poisson_arrival_times(
     rng: np.random.Generator, n: int, rate_tps: float, start: float = 0.0
 ) -> np.ndarray:
     """Poisson process: exponential inter-arrival gaps at ``rate_tps``."""
+    _require_arrivals(n)
     if rate_tps <= 0:
         raise ValueError("rate_tps must be positive")
     gaps = rng.exponential(1.0 / rate_tps, size=n)
@@ -183,6 +196,7 @@ def bursty_arrival_times(
     ``rate_tps``. The stress case for a fixed bulk former: no single
     size suits both the burst and the lull.
     """
+    _require_arrivals(n)
     if period_s <= 0:
         raise ValueError("period_s must be positive")
     if not 0.0 < duty <= 1.0:
@@ -191,6 +205,93 @@ def bursty_arrival_times(
     periods = np.floor(base / period_s)
     phase = base - periods * period_s
     return start + periods * period_s + phase * duty
+
+
+def diurnal_arrival_times(
+    rng: np.random.Generator,
+    n: int,
+    base_rate_tps: float,
+    peak_rate_tps: float,
+    period_s: float,
+    start: float = 0.0,
+) -> np.ndarray:
+    """Sinusoidal day/night load: a nonhomogeneous Poisson process
+    whose instantaneous rate swings between ``base_rate_tps`` (the
+    trough, at t=0) and ``peak_rate_tps`` (half a period later),
+    sampled by thinning against the peak rate. ``peak == base``
+    degenerates to a plain Poisson process.
+    """
+    _require_arrivals(n)
+    if base_rate_tps <= 0:
+        raise ValueError(
+            "base_rate_tps must be positive: a rate-0 trough would "
+            "stall the stream for half of every period"
+        )
+    if peak_rate_tps < base_rate_tps:
+        raise ValueError("peak_rate_tps must be >= base_rate_tps")
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    times = np.empty(n, dtype=np.float64)
+    filled = 0
+    t = 0.0
+    while filled < n:
+        chunk = 2 * max(64, n - filled)
+        gaps = rng.exponential(1.0 / peak_rate_tps, size=chunk)
+        candidates = t + np.cumsum(gaps)
+        t = float(candidates[-1])
+        swing = 0.5 * (1.0 - np.cos(2.0 * np.pi * candidates / period_s))
+        rate = base_rate_tps + (peak_rate_tps - base_rate_tps) * swing
+        kept = candidates[rng.random(chunk) < rate / peak_rate_tps]
+        take = min(len(kept), n - filled)
+        times[filled:filled + take] = kept[:take]
+        filled += take
+    return start + times
+
+
+def flash_crowd_arrival_times(
+    rng: np.random.Generator,
+    n: int,
+    base_rate_tps: float,
+    flash_at_s: float,
+    flash_rate_tps: float,
+    flash_duration_s: float,
+    start: float = 0.0,
+) -> np.ndarray:
+    """A steady Poisson baseline with a flash crowd riding on top: an
+    extra burst of arrivals at ``flash_rate_tps`` lands inside the
+    window ``[flash_at_s, flash_at_s + flash_duration_s)``. The burst
+    takes as many of the ``n`` arrivals as its rate x duration demands
+    (capped at ``n - 1`` so the baseline always exists); the rest form
+    the baseline.
+    """
+    _require_arrivals(n)
+    if base_rate_tps <= 0:
+        raise ValueError("base_rate_tps must be positive")
+    if flash_at_s < 0:
+        raise ValueError("flash_at_s must be >= 0")
+    if flash_rate_tps <= base_rate_tps:
+        raise ValueError(
+            "flash_rate_tps must exceed base_rate_tps: the flash crowd "
+            "is defined as load *above* the baseline"
+        )
+    if flash_duration_s <= 0:
+        raise ValueError(
+            "flash_duration_s must be positive: a zero-duration burst "
+            "is an empty stream segment, not a flash crowd"
+        )
+    n_flash = int(round(flash_rate_tps * flash_duration_s))
+    if n_flash < 1:
+        raise ValueError(
+            "flash window too short to hold one arrival at "
+            f"flash_rate_tps={flash_rate_tps}"
+        )
+    n_flash = min(n_flash, n - 1)
+    if n_flash < 1:
+        raise ValueError("need n >= 2: one baseline plus one flash arrival")
+    n_base = n - n_flash
+    base = poisson_arrival_times(rng, n_base, base_rate_tps, start=0.0)
+    flash = flash_at_s + np.sort(rng.random(n_flash)) * flash_duration_s
+    return start + np.sort(np.concatenate([base, flash]))
 
 
 def timed_specs(

@@ -49,7 +49,7 @@ class TestFrontDoor:
     def test_help_prints_usage_and_succeeds(self, capsys):
         assert main(["--help"]) == 0
         out = capsys.readouterr().out
-        for command in ("bench", "telemetry", "migrate-demo"):
+        for command in ("bench", "telemetry", "migrate-demo", "scenarios"):
             assert command in out
 
     def test_unknown_command_fails(self, capsys):
@@ -86,6 +86,84 @@ class TestFrontDoor:
         monkeypatch.setattr(harness, "main", fake_main)
         assert main(["bench", "--out", "X.json"]) == 0
         assert seen["argv"] == ["--out", "X.json"]
+
+
+class TestScenariosCommand:
+    """`python -m repro scenarios list|run|verify`."""
+
+    def test_list_shows_every_registered_scenario(self, capsys):
+        from repro.scenarios import names
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in names():
+            assert name in out
+        assert "tenants=victim,aggressor" in out
+
+    def test_run_prints_tenant_summaries(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCENARIO_SMOKE", "1")
+        assert main(["scenarios", "run", "noisy_neighbor"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario noisy_neighbor (serve):" in out
+        assert "tenant victim:" in out
+        assert "tenant aggressor:" in out
+        assert "p95=" in out
+
+    def test_run_respects_scale_flag(self, capsys):
+        assert main(
+            ["scenarios", "run", "block_execution", "--scale", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "n=60" in out
+        assert "kills=1" in out
+
+    def test_verify_passes_on_a_seed(self, capsys):
+        assert main(
+            ["scenarios", "verify", "flash_sale", "--scale", "0.05"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario flash_sale:" in out
+        assert "[PASS] definition-1" in out
+        assert "[PASS] isolation" in out
+        assert "[PASS] recovery" in out
+        assert "=> OK" in out
+
+    def test_verify_all_covers_the_registry(self, capsys, monkeypatch):
+        from repro.scenarios import names
+
+        monkeypatch.setenv("REPRO_SCENARIO_SMOKE", "1")
+        assert main(["scenarios", "verify", "--all"]) == 0
+        out = capsys.readouterr().out
+        for name in names():
+            assert f"scenario {name}:" in out
+        assert "FAILED" not in out
+
+    def test_verify_without_names_is_usage_error(self, capsys):
+        assert main(["scenarios", "verify"]) == 2
+        assert "--all" in capsys.readouterr().err
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["scenarios", "run", "no_such"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert main(["scenarios", "verify", "no_such"]) == 2
+
+    def test_verify_failure_exits_1(self, capsys, monkeypatch):
+        from repro.scenarios.verify import Check, VerificationReport
+
+        def fake_verify(name, scale=None, seed=None):
+            return VerificationReport(
+                scenario=str(name),
+                checks=[Check("isolation", False, "forced failure")],
+            )
+
+        monkeypatch.setattr(
+            "repro.scenarios.verify_scenario", fake_verify
+        )
+        assert main(["scenarios", "verify", "flash_sale"]) == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] isolation" in out
+        assert "=> FAILED" in out
 
 
 class TestAliases:

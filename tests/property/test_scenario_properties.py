@@ -1,0 +1,129 @@
+"""Property-based scenario-harness tests.
+
+Two contracts, fuzzed:
+
+* **Quota isolation** -- for random tenant mixes and quotas, the
+  :class:`~repro.serve.admission.AdmissionController` never admits a
+  tenant past its quota, and a saturating aggressor can never starve a
+  within-quota tenant: whenever a tenant is under its quota (and the
+  global cap has room), its offer is admitted, no matter what anyone
+  else has been doing to the queue.
+* **Recovery** -- any registered scenario plus a random shard-kill
+  point recovers byte-identical per-shard state (and identical
+  commit/abort outcomes) versus the kill-free twin, via
+  :func:`repro.scenarios.verify_recovery` (which reuses
+  ``states_identical``).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.txn import TransactionPool
+from repro.scenarios import ShardKill, get, names, verify_recovery
+from repro.serve.admission import AdmissionController
+from repro.serve.stream import Arrival
+
+_GLOBAL_CAP = 1 << 16
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_no_tenant_admitted_past_its_quota(data):
+    """Random offer/release interleavings never pierce any quota."""
+    n_tenants = data.draw(st.integers(2, 4), label="n_tenants")
+    tenants = [f"t{i}" for i in range(n_tenants)]
+    quotas = {
+        t: data.draw(st.integers(1, 8), label=f"quota[{t}]")
+        for t in tenants
+    }
+    admission = AdmissionController(
+        _GLOBAL_CAP, tenant_quotas=quotas, record_admitted=True
+    )
+    pool = TransactionPool()
+    pending = []
+    n_steps = data.draw(st.integers(10, 60), label="n_steps")
+    for step in range(n_steps):
+        if pending and data.draw(st.booleans(), label=f"release@{step}"):
+            k = data.draw(
+                st.integers(1, len(pending)), label=f"n_release@{step}"
+            )
+            done, pending = pending[:k], pending[k:]
+            admission.note_executed(done)
+            continue
+        tenant = data.draw(st.sampled_from(tenants), label=f"who@{step}")
+        depth_before = admission.tenant_depth(tenant)
+        admitted = admission.offer(
+            Arrival("noop", (), float(step), tenant), pool
+        )
+        # Under the global cap, admission is *exactly* the quota test:
+        # under-quota offers always get in, at-quota offers never do.
+        assert admitted == (depth_before < quotas[tenant])
+        if admitted:
+            pending.append(admission.admitted_log[-1])
+        for t in tenants:
+            assert admission.tenant_depth(t) <= quotas[t]
+    for t in tenants:
+        assert admission.stats.tenant_high_water.get(t, 0) <= quotas[t]
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_saturating_aggressor_never_starves_victim(data):
+    """A flood far past one quota cannot shed anyone else's offers."""
+    victim_quota = data.draw(st.integers(1, 6), label="victim_quota")
+    aggressor_quota = data.draw(st.integers(1, 6), label="aggressor_quota")
+    flood = data.draw(st.integers(10, 200), label="flood")
+    admission = AdmissionController(
+        _GLOBAL_CAP,
+        tenant_quotas={
+            "victim": victim_quota, "aggressor": aggressor_quota
+        },
+        record_admitted=True,
+    )
+    pool = TransactionPool()
+    for i in range(flood):
+        admission.offer(Arrival("noop", (), float(i), "aggressor"), pool)
+    assert admission.tenant_depth("aggressor") == aggressor_quota
+    assert admission.stats.rejected_by_tenant["aggressor"] == (
+        flood - aggressor_quota
+    )
+    # Every victim offer up to its quota is admitted regardless.
+    for i in range(victim_quota):
+        assert admission.offer(
+            Arrival("noop", (), float(flood + i), "victim"), pool
+        )
+    assert admission.stats.rejected_by_tenant.get("victim", 0) == 0
+    # Releasing aggressor slots readmits the aggressor, still capped.
+    admission.note_executed(admission.admitted_log[:aggressor_quota])
+    assert admission.tenant_depth("aggressor") == 0
+    assert admission.offer(Arrival("noop", (), 0.0, "aggressor"), pool)
+    assert admission.tenant_depth("aggressor") == 1
+
+
+@settings(
+    max_examples=6,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=st.data())
+def test_any_scenario_recovers_from_random_kill(data):
+    """Registered scenario x random kill point -> byte-identical state."""
+    name = data.draw(st.sampled_from(names()), label="scenario")
+    scenario = get(name)
+    kill = ShardKill(
+        shard=data.draw(
+            st.integers(0, scenario.n_shards - 1), label="shard"
+        ),
+        at_bulk=data.draw(st.integers(0, 3), label="at_bulk"),
+        wave=data.draw(st.integers(0, 1), label="wave"),
+    )
+    check = verify_recovery(scenario, kills=[kill], scale=0.05)
+    assert check.passed, check.detail

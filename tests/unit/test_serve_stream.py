@@ -8,6 +8,8 @@ from repro.serve.stream import Arrival, ArrivalStream
 from repro.workloads import tm1
 from repro.workloads.base import (
     bursty_arrival_times,
+    diurnal_arrival_times,
+    flash_crowd_arrival_times,
     make_rng,
     poisson_arrival_times,
     timed_specs,
@@ -85,6 +87,97 @@ class TestArrivalTimes:
         with pytest.raises(ValueError):
             bursty_arrival_times(
                 make_rng(5), 10, rate_tps=500.0, period_s=period, duty=0.0
+            )
+
+    @pytest.mark.parametrize(
+        "generate",
+        [
+            lambda n: uniform_arrival_times(n, rate_tps=100.0),
+            lambda n: poisson_arrival_times(make_rng(1), n, rate_tps=100.0),
+            lambda n: bursty_arrival_times(
+                make_rng(1), n, rate_tps=100.0, period_s=0.1
+            ),
+            lambda n: diurnal_arrival_times(
+                make_rng(1), n, base_rate_tps=50.0, peak_rate_tps=150.0,
+                period_s=0.1,
+            ),
+            lambda n: flash_crowd_arrival_times(
+                make_rng(1), n, base_rate_tps=50.0, flash_at_s=0.01,
+                flash_rate_tps=500.0, flash_duration_s=0.05,
+            ),
+        ],
+        ids=["uniform", "poisson", "bursty", "diurnal", "flash_crowd"],
+    )
+    def test_empty_streams_are_an_error_not_a_noop(self, generate):
+        """Regression: ``n < 1`` used to yield a silent empty stream."""
+        for bad_n in (0, -3):
+            with pytest.raises(ValueError, match="at least one arrival"):
+                generate(bad_n)
+        assert len(generate(2)) == 2
+
+    def test_diurnal_swings_between_trough_and_peak(self):
+        period = 0.02
+        times = diurnal_arrival_times(
+            make_rng(11), 20_000, base_rate_tps=10_000.0,
+            peak_rate_tps=50_000.0, period_s=period,
+        )
+        assert np.all(np.diff(times) >= 0)
+        phases = times % period
+        # Peak half-periods (around period/2) must be denser than
+        # trough half-periods (around 0): the sinusoid is visible.
+        near_peak = np.sum(np.abs(phases - period / 2) < period / 4)
+        near_trough = len(times) - near_peak
+        assert near_peak > 2 * near_trough
+
+    def test_diurnal_rejects_degenerate_rates(self):
+        with pytest.raises(ValueError, match="rate-0 trough"):
+            diurnal_arrival_times(
+                make_rng(1), 10, base_rate_tps=0.0,
+                peak_rate_tps=100.0, period_s=1.0,
+            )
+        with pytest.raises(ValueError, match="peak_rate_tps"):
+            diurnal_arrival_times(
+                make_rng(1), 10, base_rate_tps=100.0,
+                peak_rate_tps=50.0, period_s=1.0,
+            )
+        with pytest.raises(ValueError, match="period_s"):
+            diurnal_arrival_times(
+                make_rng(1), 10, base_rate_tps=50.0,
+                peak_rate_tps=100.0, period_s=0.0,
+            )
+
+    def test_flash_crowd_concentrates_in_its_window(self):
+        at, duration = 0.01, 0.005
+        times = flash_crowd_arrival_times(
+            make_rng(7), 2000, base_rate_tps=10_000.0, flash_at_s=at,
+            flash_rate_tps=200_000.0, flash_duration_s=duration,
+        )
+        assert np.all(np.diff(times) >= 0)
+        in_window = np.sum((times >= at) & (times < at + duration))
+        # The window holds far more than its share of a flat baseline.
+        assert in_window >= 900
+
+    def test_flash_crowd_rejects_degenerate_windows(self):
+        """Regression: a zero-duration burst must be an explicit error."""
+        with pytest.raises(ValueError, match="zero-duration burst"):
+            flash_crowd_arrival_times(
+                make_rng(1), 10, base_rate_tps=50.0, flash_at_s=0.0,
+                flash_rate_tps=500.0, flash_duration_s=0.0,
+            )
+        with pytest.raises(ValueError, match="exceed base_rate_tps"):
+            flash_crowd_arrival_times(
+                make_rng(1), 10, base_rate_tps=500.0, flash_at_s=0.0,
+                flash_rate_tps=500.0, flash_duration_s=0.1,
+            )
+        with pytest.raises(ValueError, match="too short"):
+            flash_crowd_arrival_times(
+                make_rng(1), 10, base_rate_tps=50.0, flash_at_s=0.0,
+                flash_rate_tps=100.0, flash_duration_s=1e-6,
+            )
+        with pytest.raises(ValueError, match="flash_at_s"):
+            flash_crowd_arrival_times(
+                make_rng(1), 10, base_rate_tps=50.0, flash_at_s=-0.1,
+                flash_rate_tps=500.0, flash_duration_s=0.1,
             )
 
     def test_timed_specs_zips_and_validates(self):
