@@ -1,6 +1,6 @@
 """Online serving: sustained throughput vs. offered load, the latency
-CDF against the SLO, the adaptive-vs-fixed bulk former comparison, and
-sharded ingest.
+CDF against the SLO, the adaptive-vs-fixed bulk former comparison,
+sharded ingest, and the 10M-tps batched-admission sweep (SERVE-5).
 
 Run: pytest benchmarks/bench_online_serving.py --benchmark-only -q
 The reproduced series are printed and saved to benchmarks/results/.
@@ -8,6 +8,7 @@ The reproduced series are printed and saved to benchmarks/results/.
 
 from repro.bench.serving import (
     serving_adaptive_vs_fixed,
+    serving_admission_sweep,
     serving_latency_cdf,
     serving_offered_load,
     serving_sharded,
@@ -53,6 +54,23 @@ def test_serving_adaptive_vs_fixed(figure_runner):
     best_fixed = max(fixed, key=lambda r: r[2])
     assert adaptive[2] > best_fixed[2], "adaptive must out-sustain fixed"
     assert adaptive[3] <= best_fixed[3], "without buying it with latency"
+
+
+def test_serving_admission_sweep(figure_runner):
+    # Decision identity between offer_batch and the per-arrival loop
+    # is asserted inside the figure on every row, smoke included.
+    result = figure_runner(serving_admission_sweep)
+    offered = result.column("offered_ktps")
+    assert max(offered) >= 10_000.0, "sweep must reach 10M tps"
+    assert all(a > 0 for a in result.column("admitted"))
+    assert all(k > 0 for k in result.column("sustained_ktps"))
+    import os
+
+    if os.environ.get("REPRO_BENCH_SMOKE"):
+        return
+    # At full size the batched front half must not lose to the
+    # per-arrival loop on any row (wall measurement, full lane only).
+    assert all(s >= 1.0 for s in result.column("batch_speedup"))
 
 
 def test_serving_sharded(figure_runner):

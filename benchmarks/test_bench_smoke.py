@@ -58,11 +58,12 @@ def _figure_functions(module):
 
 def test_every_bench_is_covered():
     """The glob actually sees the bench suite (guards the lane itself)."""
-    assert len(BENCH_FILES) >= 21
+    assert len(BENCH_FILES) >= 23
     assert any(p.stem == "bench_durability_overhead" for p in BENCH_FILES)
     assert any(p.stem == "bench_workload_coverage" for p in BENCH_FILES)
     assert any(p.stem == "bench_cluster_elastic" for p in BENCH_FILES)
     assert any(p.stem == "bench_scenarios" for p in BENCH_FILES)
+    assert any(p.stem == "bench_online_serving" for p in BENCH_FILES)
 
 
 @pytest.mark.smoke

@@ -2,15 +2,18 @@
 
 BACKEND-3 is the per-workload interpreted-vs-vectorized matrix: every
 workload the repo can generate (micro, TM1, TPC-B, TPC-C, SmallBank)
-runs the same bulk through both execution backends under K-SET and
-PART, asserting byte-identical outcomes, final physical state, and
-simulated clock on every row, and reporting the exec-phase wall
-speedup plus the per-row fallback rate. The fallback column is the
-coverage contract: every transaction type of every workload ships a
-vector kernel (the matrix in docs/WORKLOADS.md), so no wave ever
-falls back to the interpreter -- asserted as ``fallback_rate == 0``
-in ``benchmarks/bench_workload_coverage.py`` together with the >=4x
-exec-phase gates on TPC-B and NewOrder-heavy TPC-C bulks >= 8k.
+runs the same bulk through both execution backends under K-SET, PART,
+and (for the full TPC-C mix) columnar TPL, asserting byte-identical
+outcomes, final physical state, and simulated clock on every row, and
+reporting the exec-phase wall speedup plus the per-row fallback rate.
+The fallback column is the coverage contract: every transaction type
+of every workload ships a vector kernel (the matrix in
+docs/WORKLOADS.md) and every schedule shape -- TPL's counter locks
+included -- runs on the vectorized backend, so no wave ever falls
+back to the interpreter -- asserted as ``fallback_rate == 0`` in
+``benchmarks/bench_workload_coverage.py`` together with the >=4x
+exec-phase gates on TPC-B, NewOrder-heavy TPC-C, and full-mix TPC-C
+(TPL) bulks >= 8k.
 
 SMALLBANK-1 sweeps the SmallBank zipfian skew knob across strategies:
 skew deepens the T-dependency graph, K-SET degrades gracefully while
@@ -104,8 +107,8 @@ def _workload_cases() -> List[Tuple[str, Callable, list, list, List[str]]]:
         "tpcc-mix",
         lambda: tpcc.build_database(warehouses, seed=3),
         tpcc.PROCEDURES,
-        tpcc.generate_transactions(tpcc_db, scaled(2_000), seed=5),
-        ["kset"],
+        tpcc.generate_transactions(tpcc_db, n, seed=5),
+        ["kset", "tpl"],
     ))
 
     sb_db = smallbank.build_database(8, seed=3)
@@ -189,7 +192,7 @@ def workload_coverage() -> FigureResult:
             waves_v = eng_v.backend.waves_vectorized
             waves_f = eng_v.backend.waves_interpreted
             fallback = waves_f / max(1, waves_v + waves_f)
-            if name == "tpcc-neworder" and strategy == "kset":
+            if name == "tpcc-mix" and strategy == "tpl":
                 headline = res_v.throughput_ktps
             rows.append(
                 (
@@ -230,14 +233,19 @@ def workload_coverage() -> FigureResult:
             "backend routed to the interpreter; the coverage matrix in "
             "docs/WORKLOADS.md promises 0 for every workload, asserted "
             "in benchmarks/bench_workload_coverage.py.",
-            "Gate: >=4x exec-phase speedup (best of K-SET/PART) on "
-            "TPC-B and NewOrder-heavy TPC-C bulks >= 8k at full size; "
-            "wall assertions are skipped under the smoke lane.",
+            "Gate: >=4x exec-phase speedup (best strategy per row) on "
+            "TPC-B, NewOrder-heavy TPC-C, and the full TPC-C mix under "
+            "TPL at bulks >= 8k at full size; wall assertions are "
+            "skipped under the smoke lane.",
+            "tpcc-mix runs the full five-type mix under K-SET and "
+            "columnar TPL: the lock schedule is computed closed-form "
+            "on the vectorized backend (no interpreter fallback), so "
+            "the formerly honest ~1.7x row now clears the 4x gate.",
             "smallbank-local restricts the mix to the single-customer "
             "types so the PART row measures PART, not its TPL "
             "fallback (the two-customer types are cross-partition).",
         ],
-        headline=("tpcc_vector_sim_ktps", headline),
+        headline=("tpcc_mix_sim_ktps", headline),
     )
 
 

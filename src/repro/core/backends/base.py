@@ -24,9 +24,10 @@ selected via :class:`EngineOptions` (``GPUTx(..., options=...)``).
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError
 
@@ -75,6 +76,25 @@ class ExecutionBackend:
         """
         raise NotImplementedError
 
+    def launch_locked(
+        self,
+        executor,
+        transactions: Sequence["Transaction"],
+        plans: Sequence[List[Tuple[int, int, bool]]],
+        locks,
+    ) -> "KernelReport":
+        """Execute one TPL bulk (one thread per transaction, counter
+        locks).
+
+        ``plans`` aligns with ``transactions``: each entry is the
+        thread's lock plan ``[(lock_id, key, shared), ...]`` in merged
+        item order (both locking phases walk it). ``locks`` is the
+        pre-seeded :class:`~repro.gpu.atomics.LockTable`. Must return
+        a report identical to launching
+        ``executor.locked_task``-built tasks on the interpreter.
+        """
+        raise NotImplementedError
+
 
 class InterpretedBackend(ExecutionBackend):
     """The original generator-per-thread SIMT interpreter path."""
@@ -95,6 +115,16 @@ class InterpretedBackend(ExecutionBackend):
             for pid, txns in parts
         ]
         report = executor.engine.launch(tasks, executor.adapter)
+        self.wall_launch_seconds += time.perf_counter() - start
+        return report
+
+    def launch_locked(self, executor, transactions, plans, locks):
+        start = time.perf_counter()
+        tasks = [
+            executor.locked_task(txn, plan)
+            for txn, plan in zip(transactions, plans)
+        ]
+        report = executor.engine.launch(tasks, executor.adapter, locks=locks)
         self.wall_launch_seconds += time.perf_counter() - start
         return report
 
@@ -130,6 +160,17 @@ def create_backend(options: "EngineOptions") -> ExecutionBackend:
     return factory(options)
 
 
+def _env_strict_vector() -> bool:
+    """The ``REPRO_STRICT_VECTOR`` environment default.
+
+    CI's strict lane exports ``REPRO_STRICT_VECTOR=1`` to turn every
+    silent interpreter fallback in the vectorized backend into an
+    error; empty, ``0``, and ``false`` (any case) leave it off.
+    """
+    raw = os.environ.get("REPRO_STRICT_VECTOR", "")
+    return raw.strip().lower() not in ("", "0", "false")
+
+
 @dataclass(frozen=True)
 class EngineOptions:
     """Engine-level execution options (strategy-independent).
@@ -140,12 +181,15 @@ class EngineOptions:
     more wall-clock than interpreting (the simulated clock is
     identical either way). ``strict_vector`` turns the vectorized
     backend's silent per-wave fallback into an error -- for tests and
-    benchmarks that must know vectorization actually happened.
+    benchmarks that must know vectorization actually happened. Its
+    default (``None``) resolves from the ``REPRO_STRICT_VECTOR``
+    environment variable, so a CI lane can arm strictness repo-wide;
+    an explicit ``False`` stays off regardless of the environment.
     """
 
     backend: str = "interpreted"
     vector_min_wave: int = 1
-    strict_vector: bool = False
+    strict_vector: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.backend not in _BACKENDS:
@@ -155,6 +199,8 @@ class EngineOptions:
             )
         if self.vector_min_wave < 1:
             raise ConfigError("vector_min_wave must be >= 1")
+        if self.strict_vector is None:
+            object.__setattr__(self, "strict_vector", _env_strict_vector())
 
 
 register_backend("interpreted", lambda options: InterpretedBackend())

@@ -23,7 +23,8 @@ device addresses of cells in tables whose row count moves mid-kernel
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +40,40 @@ _PLAIN_ISSUE_KINDS = (
     op_ir.ABORT,
     op_ir.THREAD_FENCE,
 )
+
+
+@dataclass
+class ScheduleOverrides:
+    """Lock-schedule context a TPL launch feeds into the replay.
+
+    Without locks, a thread's round is ``opidx + 1`` and a warp stays
+    schedulable until its op count runs out -- both derivable from the
+    trace. With counter locks, rounds have spin gaps and the spin
+    charges happen on rounds with no recorded event at all, so the
+    lockstep scheduler (:mod:`repro.core.backends.lockstep`) hands the
+    replay what it already computed: the true round horizon, each
+    warp's last live round, and the spin-phase charge totals to merge
+    into the stats (all exact integer-valued sums, so the merged
+    totals are bit-identical to the interpreter's accumulation order).
+    """
+
+    #: Total rounds (= the interpreter's round counter at finish).
+    rounds: int = 0
+    #: Per-warp last round with a live thread (visit simulation).
+    warp_last_round: Optional[np.ndarray] = None
+    #: Per-SM spin/acquire charges accumulated by the scheduler.
+    issue_cycles: Optional[np.ndarray] = None
+    atomic_cycles: Optional[np.ndarray] = None
+    mem_transactions: Optional[np.ndarray] = None
+    mem_bytes: Optional[np.ndarray] = None
+    #: Aggregate counters from the acquire phase.
+    spin_iterations: int = 0
+    atomic_conflicts: int = 0
+    #: Divergence groups that left no trace event (all-spinning
+    #: acquire groups), already netted against rounds where they were
+    #: the only group (see lockstep._divergence_extra).
+    divergent_serializations: int = 0
+    extra: Dict[str, Any] = field(default_factory=dict)
 
 
 def _pack_sort(*keys: np.ndarray) -> np.ndarray:
@@ -70,16 +105,21 @@ def replay_kernel(
     store: WaveStore,
     engine: Any,
     outcomes: List[ThreadOutcome],
+    schedule: Optional[ScheduleOverrides] = None,
 ) -> KernelReport:
     """Resolve a recorded wave into a KernelReport and apply the staged
     mutations in interpreter event order."""
+    recorder.flush_scalar()
     spec = engine.spec
     cost = engine.cost
     n_threads = recorder.n_threads
     stats = KernelStats(num_sms=spec.num_sms)
     stats.threads_launched = n_threads
     stats.threads_aborted = sum(1 for o in outcomes if not o.committed)
-    stats.rounds = int(recorder.op_count.max()) if n_threads else 0
+    if schedule is not None:
+        stats.rounds = schedule.rounds
+    else:
+        stats.rounds = int(recorder.op_count.max()) if n_threads else 0
 
     bounds, sm_warp_ids, resident = warp_layout(
         n_threads, engine.block_size, spec
@@ -109,7 +149,12 @@ def replay_kernel(
         if steps else np.zeros(0, dtype=np.int64)
     )
     ev_round = (
-        np.concatenate([s.opidx for s in steps]) + 1
+        np.concatenate(
+            [
+                s.rounds if s.rounds is not None else s.opidx + 1
+                for s in steps
+            ]
+        )
         if steps else np.zeros(0, dtype=np.int64)
     )
     ev_kind = np.repeat(
@@ -160,6 +205,7 @@ def replay_kernel(
             recorder, store, bounds, sm_warp_ids, sm_of_warp,
             ev_thread, ev_round, ev_kind, ev_branch, ev_warp,
             ev_addr, ev_width, ev_payload, ev_step, offsets, deferred_steps,
+            schedule=schedule,
         )
 
     # ---- group events exactly like _step_warp -------------------------
@@ -199,6 +245,10 @@ def replay_kernel(
         )
     wr_sizes = np.diff(np.append(np.flatnonzero(wr_fresh), n_groups))
     stats.divergent_serializations = int(np.sum(wr_sizes - 1))
+    if schedule is not None:
+        stats.divergent_serializations += schedule.divergent_serializations
+        stats.spin_iterations += schedule.spin_iterations
+        stats.atomic_conflicts += schedule.atomic_conflicts
 
     issue = np.zeros(spec.num_sms, dtype=np.float64)
     mem_tx = np.zeros(spec.num_sms, dtype=np.int64)
@@ -232,8 +282,43 @@ def replay_kernel(
         np.add.at(mem_instr, sms, 1)
         np.add.at(issue, sms, (2 * plain) if probe else plain)
 
-    charge_coalesced((op_ir.READ, op_ir.WRITE), probe=False)
+    # LOCK_RELEASE groups charge exactly like a READ/WRITE group: the
+    # interpreter coalesces the released lock words and issues one
+    # plain instruction per group (LOCK_ACQUIRE pass events carry no
+    # charge here -- the acquire-round charges, which depend on
+    # blocked spinners absent from the trace, arrive via ``schedule``).
+    charge_coalesced(
+        (op_ir.READ, op_ir.WRITE, op_ir.LOCK_RELEASE), probe=False
+    )
     charge_coalesced((op_ir.INDEX_PROBE,), probe=True)
+
+    # Undo-log flush: a WRITE group whose members journalled
+    # before-images appends them consecutively in device memory --
+    # one extra memory instruction per group, sized by the member
+    # count (16 B per record, Appendix D).
+    undo_flags = [s.undo is not None and s.undo.any() for s in steps]
+    if any(undo_flags):
+        ev_undo = np.concatenate(
+            [
+                s.undo
+                if s.undo is not None
+                else np.zeros(len(s.lanes), dtype=bool)
+                for s in steps
+            ]
+        )[order]
+        write_gs = np.flatnonzero(g_kind == op_ir.WRITE)
+        counts = np.add.reduceat(
+            ev_undo.astype(np.int64), g_start
+        )[write_gs]
+        hot = counts > 0
+        if hot.any():
+            gs_hot = write_gs[hot]
+            ntx = (counts[hot] * 16 + seg - 1) // seg
+            sms = g_sm[gs_hot]
+            np.add.at(mem_tx, sms, ntx)
+            np.add.at(mem_bytes, sms, ntx * seg)
+            np.add.at(mem_instr, sms, 1)
+            np.add.at(issue, sms, plain)
 
     # Compute / SFU: one issue charge per group, max amount of members.
     for kind, fn in (
@@ -292,6 +377,19 @@ def replay_kernel(
         np.add.at(mem_instr, g_sm[delete_gs], 1)
         np.add.at(issue, g_sm[delete_gs], plain)
 
+    if schedule is not None:
+        # Acquire/spin-phase charges the scheduler accumulated. Every
+        # quantum is an integer-valued float (< 2**53), so adding the
+        # per-SM totals is exact regardless of accumulation order.
+        if schedule.issue_cycles is not None:
+            issue += schedule.issue_cycles
+        if schedule.atomic_cycles is not None:
+            atomic_cycles += schedule.atomic_cycles
+        if schedule.mem_transactions is not None:
+            mem_tx += schedule.mem_transactions
+        if schedule.mem_bytes is not None:
+            mem_bytes += schedule.mem_bytes
+
     # tolist() yields Python scalars, so downstream arithmetic (and
     # report equality checks) see the same types as the interpreter.
     stats.issue_cycles = issue.tolist()
@@ -304,39 +402,64 @@ def replay_kernel(
     return KernelReport(stats=stats, timing=timing, outcomes=outcomes)
 
 
-def _simulate_warp_visits(
+def _warp_visit_ranks(
     op_count: np.ndarray,
     bounds: List[Tuple[int, int]],
     sm_warp_ids: List[List[int]],
-    rounds: int,
+    needed_rounds: np.ndarray,
+    warp_last: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Per-round warp visit ranks within each SM.
+    """Warp visit ranks within each SM, for ``needed_rounds`` only.
 
     Reproduces the scheduler's swap-removal of finished warps: a warp
     encountered with no live thread is replaced by the list's last
-    warp, permuting subsequent visit order. Returns a matrix
-    ``V[round, warp]`` (rounds 1-based; -1 = not visited).
+    warp, permuting subsequent visit order. The list only changes on
+    rounds where at least one warp dies, so replaying each death
+    round's sweep -- a position-order scan that swap-removes dead
+    warps and re-examines the swapped-in warp, exactly like the
+    interpreter's mid-sweep removal -- leaves the list byte-identical
+    to the interpreter's at every subsequent round. (Removal order
+    matters: two warps dying in the same round are removed in *scan
+    position* order, which is not warp-id order once earlier deaths
+    have permuted the list.)
+
+    Returns ``V[i, warp]`` for ``needed_rounds[i]`` (ascending,
+    1-based rounds; -1 = not visited). Sparse on purpose: a TPL kernel
+    can span millions of spin rounds, but only rounds carrying an
+    order-sensitive event need ranks -- a dense ``(rounds, warps)``
+    matrix would dominate memory at benchmark scale.
+
+    ``warp_last`` overrides the per-warp last live round; without it
+    (the conflict-free case) a warp's life equals its member op count.
     """
     n_warps = len(bounds)
-    warp_len = np.array(
-        [op_count[lo:hi].max() if hi > lo else 0 for lo, hi in bounds],
-        dtype=np.int64,
-    )
-    visits = np.full((rounds + 1, n_warps), -1, dtype=np.int64)
+    if warp_last is not None:
+        warp_len = warp_last
+    else:
+        warp_len = np.array(
+            [op_count[lo:hi].max() if hi > lo else 0 for lo, hi in bounds],
+            dtype=np.int64,
+        )
+    visits = np.full((len(needed_rounds), n_warps), -1, dtype=np.int64)
+    rounds_list = [int(r) for r in needed_rounds]
     for ids in sm_warp_ids:
+        # Death rounds, ascending; ties resolved by the sweep below.
+        death_rounds = sorted({int(warp_len[w]) + 1 for w in ids})
         live = list(ids)
-        for r in range(1, rounds + 1):
-            rank = 0
-            w = 0
-            while w < len(live):
-                warp = live[w]
-                if warp_len[warp] < r:
-                    live[w] = live[-1]
-                    live.pop()
-                    continue
-                visits[r, warp] = rank
-                rank += 1
-                w += 1
+        di = 0
+        for i, r in enumerate(rounds_list):
+            while di < len(death_rounds) and death_rounds[di] <= r:
+                dr = death_rounds[di]
+                di += 1
+                w = 0
+                while w < len(live):
+                    if warp_len[live[w]] + 1 <= dr:
+                        live[w] = live[-1]
+                        live.pop()
+                    else:
+                        w += 1
+            for rank, warp in enumerate(live):
+                visits[i, warp] = rank
     return visits
 
 
@@ -357,6 +480,7 @@ def _resolve_order_and_addresses(
     ev_step: np.ndarray,
     offsets: np.ndarray,
     deferred_steps: List[int],
+    schedule: Optional[ScheduleOverrides] = None,
 ) -> None:
     """Compute the interpreter event order over the *order-sensitive
     subset* of events -- staged inserts/deletes plus deferred-address
@@ -384,11 +508,12 @@ def _resolve_order_and_addresses(
     s_branch = ev_branch[sub]
     S = len(sub)
 
-    rounds = int(recorder.op_count.max())
-    visits = _simulate_warp_visits(
-        recorder.op_count, bounds, sm_warp_ids, rounds
+    warp_last = schedule.warp_last_round if schedule is not None else None
+    needed = np.unique(s_round)
+    visits = _warp_visit_ranks(
+        recorder.op_count, bounds, sm_warp_ids, needed, warp_last=warp_last
     )
-    s_visit = visits[s_round, s_warp]
+    s_visit = visits[np.searchsorted(needed, s_round), s_warp]
     s_sm = sm_of_warp[s_warp]
     # First-occurrence order of each (round, warp, branch, kind) group
     # = the minimum member thread id (members iterate in warp order).
@@ -413,7 +538,11 @@ def _resolve_order_and_addresses(
     pos[sub[sub_order]] = np.arange(S)
 
     # Apply staged mutations in event order; record handle -> row id.
+    # The mapping is published on the store: undo logs captured during
+    # the kernel name staged rows by handle and are remapped to these
+    # physical ids afterwards (tx_logging.remap_handle_rows).
     handle_row: Dict[int, int] = {}
+    store.handle_row = handle_row
     mut_events = np.flatnonzero(
         (ev_kind == op_ir.INSERT_ROW) | (ev_kind == op_ir.DELETE_ROW)
     )

@@ -9,11 +9,18 @@ same simulated-clock figures -- at a fraction of the host wall-clock
 cost, which is what lets the serving and cluster layers push real
 traffic through the simulator ("as fast as the hardware allows").
 
+TPL bulks route through :func:`~repro.core.backends.lockstep.
+run_locked_schedule`: counter-lock spin rounds are derived in closed
+form from the release schedule, bodies run as column kernels the
+moment their locks are granted, and abort-capable waves journal
+before-images as bulk gathers (vectorized undo capture).
+
 Per-wave fallback: a wave is vectorized only when every participating
-transaction type has a vector form (``TransactionType.vector_body``),
-is two-phase, needs no undo logging, and the store is column-layout;
-anything else -- including TPL and the ad-hoc strategy, whose spin
-locks and serial semantics only the interpreter models -- runs through
+transaction type has a vector form (``TransactionType.vector_body``)
+and the store is column-layout; the partition path additionally
+requires two-phase types that need no undo logging (the PART wrapper's
+inline compensating rollback is interpreter-shaped). Anything else --
+e.g. the ad-hoc strategy's serial semantics -- runs through
 :class:`~repro.core.backends.base.InterpretedBackend` unchanged. The
 ``strict_vector`` engine option turns that fallback into an error for
 tests and benches that must know vectorization happened; the
@@ -28,14 +35,21 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import tx_logging
 from repro.core.backends.base import (
     EngineOptions,
     ExecutionBackend,
     InterpretedBackend,
     register_backend,
 )
+from repro.core.backends.lockstep import run_locked_schedule
 from repro.core.backends.replay import replay_kernel
-from repro.core.backends.wave import TraceRecorder, WaveContext, WaveStore
+from repro.core.backends.wave import (
+    HANDLE_BASE,
+    TraceRecorder,
+    WaveContext,
+    WaveStore,
+)
 from repro.errors import ExecutionError
 from repro.gpu import ops as op_ir
 from repro.gpu.simt import KernelReport, ThreadOutcome
@@ -61,8 +75,16 @@ class VectorizedBackend(ExecutionBackend):
     # Support checks.
     # ------------------------------------------------------------------
     def _unsupported_reason(
-        self, executor, type_names: Sequence[str]
+        self, executor, type_names: Sequence[str], *, allow_undo: bool = True
     ) -> Optional[str]:
+        """Why this wave cannot vectorize, or None when it can.
+
+        Wave and locked launches capture before-images in bulk, so
+        abort-after-write types and undo logging are fine there
+        (``allow_undo``). The partition path keeps the strict checks:
+        the PART wrapper rolls back aborts inline with compensating
+        Read/Write ops, a trace shape only the interpreter produces.
+        """
         if executor.adapter.db.layout != "column":
             return "vectorized backend requires a column-layout store"
         registry = executor.registry
@@ -70,10 +92,11 @@ class VectorizedBackend(ExecutionBackend):
             txn_type = registry.get(name)
             if txn_type.vector_body is None:
                 return f"transaction type {name!r} has no vector form"
-            if not txn_type.two_phase:
-                return f"transaction type {name!r} is not two-phase"
-            if executor.use_undo_logging and registry.needs_undo(name):
-                return f"transaction type {name!r} requires undo logging"
+            if not allow_undo:
+                if not txn_type.two_phase:
+                    return f"transaction type {name!r} is not two-phase"
+                if executor.use_undo_logging and registry.needs_undo(name):
+                    return f"transaction type {name!r} requires undo logging"
         return None
 
     def _fall_back(self, reason: str) -> None:
@@ -110,21 +133,31 @@ class VectorizedBackend(ExecutionBackend):
         registry = executor.registry
         store = self._wave_store(executor, by_type)
         recorder = TraceRecorder(n)
+        # Bulk undo capture: threads whose task would set capture_undo
+        # journal before-images during the kernel (one gather per
+        # write step), exactly like the interpreter's per-row appends.
+        capture = np.array(
+            [executor._needs_undo(t) for t in transactions], dtype=bool
+        )
+        recorder.undo_capture = capture
         committed = np.ones(n, dtype=bool)
         reasons = [""] * n
         results: List[object] = [None] * n
+        undo_logs: List[List[Tuple]] = [[] for _ in range(n)]
         type_ids = np.empty(n, dtype=np.int64)
         for type_name, idxs in by_type.items():
             txn_type = registry.get(type_name)
             type_id = registry.type_id(type_name)
             lanes = np.asarray(idxs, dtype=np.int64)
             type_ids[lanes] = type_id
+            cap = capture[lanes]
             ctx = WaveContext(
                 recorder,
                 store,
                 lanes,
                 type_id,
                 [transactions[i] for i in idxs],
+                capture_undo=cap if cap.any() else None,
             )
             ctx.set_branch()
             txn_type.vector_body(ctx)
@@ -133,6 +166,8 @@ class VectorizedBackend(ExecutionBackend):
             for j, i in enumerate(idxs):
                 reasons[i] = ctx.abort_reason[j]
                 results[i] = ctx.results[j]
+                if ctx.undo[j]:
+                    undo_logs[i] = ctx.undo[j]
         committed_l = committed.tolist()
         type_ids_l = type_ids.tolist()
         outcomes = [
@@ -146,6 +181,44 @@ class VectorizedBackend(ExecutionBackend):
             for i, txn in enumerate(transactions)
         ]
         report = replay_kernel(recorder, store, executor.engine, outcomes)
+        for i, entries in enumerate(undo_logs):
+            if entries:
+                outcomes[i].undo = tx_logging.remap_handle_rows(
+                    entries, store.handle_row, HANDLE_BASE
+                )
+        self.waves_vectorized += 1
+        self.wall_launch_seconds += _time.perf_counter() - start
+        return report
+
+    # ------------------------------------------------------------------
+    # TPL: one thread per transaction behind counter-lock gates.
+    # ------------------------------------------------------------------
+    def launch_locked(self, executor, transactions, plans, locks):
+        by_type: Dict[str, List[int]] = {}
+        for i, txn in enumerate(transactions):
+            by_type.setdefault(txn.type_name, []).append(i)
+        reason = self._unsupported_reason(executor, list(by_type))
+        if reason is not None:
+            self._fall_back(reason)
+            report = self._interpreted.launch_locked(
+                executor, transactions, plans, locks
+            )
+            self.wall_launch_seconds += self._interpreted.wall_launch_seconds
+            self._interpreted.wall_launch_seconds = 0.0
+            return report
+        if len(transactions) < self.options.vector_min_wave:
+            self.waves_interpreted += 1
+            report = self._interpreted.launch_locked(
+                executor, transactions, plans, locks
+            )
+            self.wall_launch_seconds += self._interpreted.wall_launch_seconds
+            self._interpreted.wall_launch_seconds = 0.0
+            return report
+        start = _time.perf_counter()
+        store = self._wave_store(executor, by_type)
+        report = run_locked_schedule(
+            executor, transactions, plans, locks, store
+        )
         self.waves_vectorized += 1
         self.wall_launch_seconds += _time.perf_counter() - start
         return report
@@ -159,7 +232,9 @@ class VectorizedBackend(ExecutionBackend):
         type_names = {
             txn.type_name for _pid, txns in parts for txn in txns
         }
-        reason = self._unsupported_reason(executor, sorted(type_names))
+        reason = self._unsupported_reason(
+            executor, sorted(type_names), allow_undo=False
+        )
         if reason is not None:
             self._fall_back(reason)
             report = self._interpreted.launch_partitions(

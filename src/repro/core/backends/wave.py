@@ -40,6 +40,7 @@ from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import tx_logging
 from repro.gpu import ops as op_ir
 from repro.storage.catalog import Database, StoreAdapter, static_map_cost_base
 
@@ -107,6 +108,9 @@ class WaveStore:
         self.pending_handle_writes: List[Tuple[str, str, int, Any]] = []
         #: (handle, column index) -> latest staged value, for gathers.
         self._handle_overrides: Dict[Tuple[int, int], Any] = {}
+        #: handle -> physical row id, published by the replay once the
+        #: staged inserts have materialised (undo-log fixups read it).
+        self.handle_row: Dict[int, int] = {}
         #: table -> [(index, column positions)] -- the per-row key
         #: construction is the mutation-staging hot path.
         self._index_info: Dict[str, List[Tuple[Any, Tuple[int, ...]]]] = {}
@@ -160,6 +164,46 @@ class WaveStore:
             else:
                 out[i] = mapping.get(k, -1)
         return out
+
+    def probe_unique1(self, index: str, key: Any) -> int:
+        """Single-key :meth:`probe_unique` (the one-lane fast path)."""
+        static = self.db.static_maps.get(index)
+        if static is not None:
+            return static.get(key, -1)
+        ix = self.db.index(index)
+        if not self._dirty:
+            return ix.mapping.get(key, -1)
+        self._fold(ix.table)
+        added = self._unique_add.get(index)
+        if added is not None and key in added:
+            return added[key]
+        removed = self._unique_del.get(index)
+        if removed is not None and key in removed:
+            return -1
+        return ix.mapping.get(key, -1)
+
+    def probe_multi1(self, index: str, key: Any) -> List[int]:
+        """Single-key :meth:`probe_multi` (the one-lane fast path)."""
+        ix = self.db.index(index)
+        rows = list(ix.mapping.get(key, ()))
+        if not self._dirty:
+            return rows
+        self._fold(ix.table)
+        removed = self._multi_del.get(index)
+        gone = removed.get(key) if removed is not None else None
+        if gone:
+            rows = [r for r in rows if r not in gone]
+        added = self._multi_add.get(index)
+        extra = added.get(key) if added is not None else None
+        if extra:
+            rows = rows + extra
+        return rows
+
+    def probe_cost_base1(self, index: str, key: Any) -> int:
+        """Single-key cost-address base (see probe_cost_addresses)."""
+        if index in self.db.static_maps:
+            return static_map_cost_base(index, key)
+        return self.db.index(index).cost_address_base(key)
 
     def probe_multi(self, index: str, keys: Sequence[Any]) -> List[List[int]]:
         """MultiHashIndex.probe_all, batched, overlay-aware."""
@@ -228,6 +272,14 @@ class WaveStore:
                 _, values = self.pending_inserts[handle]
                 out[i] = values[col_idx]
         return out
+
+    def gather1(self, table: str, column: str, row_enc: int) -> np.ndarray:
+        """Single-row :meth:`gather` (the one-lane fast path)."""
+        if row_enc >= HANDLE_BASE:
+            return self.gather(
+                table, column, np.asarray([row_enc], dtype=np.int64)
+            )
+        return self.db.table(table).gather1(column, row_enc)
 
     # -- mutation staging ------------------------------------------------
     def _indexes_of(self, table: str) -> List[Tuple[Any, Tuple[int, ...]]]:
@@ -355,6 +407,8 @@ class Step:
         "deferred",
         "table",
         "payload",
+        "rounds",
+        "undo",
     )
 
     def __init__(
@@ -370,6 +424,8 @@ class Step:
         deferred: Optional[Tuple[str, str, np.ndarray]] = None,
         table: Optional[str] = None,
         payload: Optional[np.ndarray] = None,
+        rounds: Optional[np.ndarray] = None,
+        undo: Optional[np.ndarray] = None,
     ) -> None:
         self.kind = kind
         self.lanes = lanes
@@ -386,6 +442,16 @@ class Step:
         self.table = table
         #: Insert handles / delete encoded rows.
         self.payload = payload
+        #: Explicit per-lane execution round. ``None`` means the
+        #: conflict-free convention ``round = opidx + 1`` (every thread
+        #: starts at round 1 and issues one op per round); the TPL
+        #: lockstep scheduler records real rounds, with gaps where
+        #: lanes spun on a lock gate.
+        self.rounds = rounds
+        #: Per-lane bool: this WRITE journalled a before-image (the
+        #: interpreter's per-group undo-log flush charge keys on the
+        #: number of such lanes per divergence group).
+        self.undo = undo
 
 
 class TraceRecorder:
@@ -395,6 +461,200 @@ class TraceRecorder:
         self.n_threads = n_threads
         self.op_count = np.zeros(n_threads, np.int64)
         self.steps: List[Step] = []
+        #: Columnar buffers for single-lane records, keyed by the op
+        #: shape (the merge_steps key): each value is the field lists
+        #: (lanes, opidx, rounds, addr, payload, undo, deferred rows)
+        #: flushed into one Step per key by :meth:`flush_scalar`.
+        self._acc: Dict[Any, Tuple[list, ...]] = {}
+        #: When set (TPL lockstep scheduling), a recorded op's round is
+        #: ``round_base[thread] + op_count[thread]``: the base absorbs
+        #: the thread's lock-acquire phase so body ops land on real
+        #: rounds instead of ``opidx + 1``.
+        self.round_base: Optional[np.ndarray] = None
+        #: Per-thread "journals before-images" flags; stamped onto
+        #: WRITE steps so the replay can charge the undo-log flush.
+        self.undo_capture: Optional[np.ndarray] = None
+
+    def record_scalar(
+        self,
+        kind: int,
+        lane: int,
+        branch: int,
+        *,
+        amount: int = 0,
+        addr: Any = None,
+        width: int = 8,
+        deferred: Optional[Tuple[str, str, int]] = None,
+        table: Optional[str] = None,
+        payload: Optional[int] = None,
+    ) -> None:
+        """Single-lane :meth:`record` that buffers into the columnar
+        accumulator instead of building a one-lane Step per op.
+
+        A TPL lock schedule grants mostly one thread at a time under
+        contention, so its body batches record through this path;
+        ``addr`` is a plain int (1-d address) or an ``(lo, hi)`` pair
+        (probe addresses). :meth:`flush_scalar` materialises one Step
+        per distinct op shape -- the exact arrays :meth:`record` would
+        have produced, concatenated.
+        """
+        if kind not in op_ir.VECTORIZABLE_KINDS:
+            raise ValueError(
+                f"op kind {op_ir.KIND_NAMES.get(kind, kind)} has no "
+                "vectorized replay; the wave must fall back to the "
+                "interpreter"
+            )
+        opidx = int(self.op_count[lane])
+        self.op_count[lane] = opidx + 1
+        rb = self.round_base
+        no_rounds = rb is None
+        undo = None
+        if kind == op_ir.WRITE and self.undo_capture is not None:
+            undo = bool(self.undo_capture[lane])
+        addr_ndim = None if addr is None else (2 if type(addr) is tuple else 1)
+        deferred_tc = None if deferred is None else deferred[:2]
+        key = (
+            kind, branch, amount, width, table, deferred_tc,
+            addr_ndim, payload is None, no_rounds, undo is None,
+        )
+        acc = self._acc.get(key)
+        if acc is None:
+            acc = self._acc[key] = ([], [], [], [], [], [], [])
+        acc[0].append(lane)
+        acc[1].append(opidx)
+        if not no_rounds:
+            acc[2].append(int(rb[lane]) + opidx)
+        if addr is not None:
+            acc[3].append(addr)
+        if payload is not None:
+            acc[4].append(payload)
+        if undo is not None:
+            acc[5].append(undo)
+        if deferred is not None:
+            acc[6].append(deferred[2])
+
+    def flush_scalar(self) -> None:
+        """Materialise the scalar accumulator into whole Steps."""
+        if not self._acc:
+            return
+        for key, acc in self._acc.items():
+            (
+                kind, branch, amount, width, table, deferred_tc,
+                addr_ndim, no_payload, no_rounds, no_undo,
+            ) = key
+            lanes, opidx, rounds, addr, payload, undo, drows = acc
+            kw: Dict[str, Any] = {}
+            if not no_rounds:
+                kw["rounds"] = np.asarray(rounds, dtype=np.int64)
+            if addr_ndim is not None:
+                kw["addr"] = np.asarray(addr, dtype=np.int64)
+            if not no_payload:
+                kw["payload"] = np.asarray(payload, dtype=np.int64)
+            if not no_undo:
+                kw["undo"] = np.asarray(undo, dtype=bool)
+            if deferred_tc is not None:
+                kw["deferred"] = (
+                    deferred_tc[0],
+                    deferred_tc[1],
+                    np.asarray(drows, dtype=np.int64),
+                )
+            self.steps.append(
+                Step(
+                    kind,
+                    np.asarray(lanes, dtype=np.int64),
+                    np.asarray(opidx, dtype=np.int64),
+                    branch,
+                    amount=amount,
+                    width=width,
+                    table=table,
+                    **kw,
+                )
+            )
+        self._acc.clear()
+
+    def merge_steps(self) -> None:
+        """Coalesce steps whose per-step-constant fields all match.
+
+        The replay groups events by a pure sort on ``(round, warp,
+        branch, kind, thread)`` -- the recorded step partition is
+        invisible to it -- so two steps may merge whenever every
+        per-step-constant field (kind, scalar branch, amount, width,
+        table, deferred target) is equal: the merged step flattens to
+        the identical event arrays. A TPL lock schedule records one
+        tiny step per granted batch per body op; merging collapses
+        those to one step per distinct op shape, keeping the replay's
+        flatten and per-step python loops off the hot path.
+        """
+        self.flush_scalar()
+        buckets: Dict[Any, List[Step]] = {}
+        for i, s in enumerate(self.steps):
+            if isinstance(s.branch, np.ndarray):
+                key: Any = ("solo", i)
+            else:
+                key = (
+                    s.kind, s.branch, s.amount, s.width, s.table,
+                    None if s.deferred is None else s.deferred[:2],
+                    None if s.addr is None else s.addr.ndim,
+                    s.payload is None, s.rounds is None, s.undo is None,
+                )
+            bucket = buckets.get(key)
+            if bucket is None:
+                buckets[key] = [s]
+            else:
+                bucket.append(s)
+        out: List[Step] = []
+        cat = np.concatenate
+        for bucket in buckets.values():
+            if len(bucket) == 1:
+                out.append(bucket[0])
+                continue
+            first = bucket[0]
+            out.append(
+                Step(
+                    first.kind,
+                    lanes=cat([s.lanes for s in bucket]),
+                    opidx=cat([s.opidx for s in bucket]),
+                    branch=first.branch,
+                    amount=first.amount,
+                    addr=(
+                        None
+                        if first.addr is None
+                        else cat([s.addr for s in bucket])
+                    ),
+                    width=first.width,
+                    deferred=(
+                        None
+                        if first.deferred is None
+                        else (
+                            first.deferred[0],
+                            first.deferred[1],
+                            cat(
+                                [
+                                    np.asarray(s.deferred[2])
+                                    for s in bucket
+                                ]
+                            ),
+                        )
+                    ),
+                    table=first.table,
+                    payload=(
+                        None
+                        if first.payload is None
+                        else cat([s.payload for s in bucket])
+                    ),
+                    rounds=(
+                        None
+                        if first.rounds is None
+                        else cat([s.rounds for s in bucket])
+                    ),
+                    undo=(
+                        None
+                        if first.undo is None
+                        else cat([s.undo for s in bucket])
+                    ),
+                )
+            )
+        self.steps = out
 
     def record(self, kind: int, lanes: np.ndarray, branch: Any, **kw: Any) -> None:
         if kind not in op_ir.VECTORIZABLE_KINDS:
@@ -407,6 +667,14 @@ class TraceRecorder:
             return
         opidx = self.op_count[lanes].copy()
         self.op_count[lanes] += 1
+        if self.round_base is not None and "rounds" not in kw:
+            kw["rounds"] = self.round_base[lanes] + opidx
+        if (
+            kind == op_ir.WRITE
+            and self.undo_capture is not None
+            and "undo" not in kw
+        ):
+            kw["undo"] = self.undo_capture[lanes]
         self.steps.append(Step(kind, lanes, opidx, branch, **kw))
 
 
@@ -428,6 +696,7 @@ class WaveContext:
         transactions: Sequence[Any],
         *,
         record_abort_ops: bool = True,
+        capture_undo: Optional[np.ndarray] = None,
     ) -> None:
         self.recorder = recorder
         self.store = store
@@ -442,9 +711,28 @@ class WaveContext:
         self.abort_reason: List[str] = [""] * self.n
         self.results: List[Any] = [None] * self.n
         self.record_abort_ops = record_abort_ops
+        #: Per-local-lane bool: journal before-images, exactly as the
+        #: interpreter does for threads whose task sets capture_undo.
+        #: The vectorized capture is one bulk gather per write step
+        #: instead of a per-row append.
+        self.capture = capture_undo
+        #: Per-local-lane undo logs, interpreter entry format
+        #: (rows staged by a same-launch insert are recorded under
+        #: their encoded handle and remapped after the replay
+        #: materialises them).
+        self.undo: List[List[Tuple[Any, ...]]] = [[] for _ in range(self.n)]
+        #: Single-lane fast path: a TPL lock schedule grants mostly one
+        #: thread at a time under contention, so one-lane batches take
+        #: scalar code paths (plain python ints, columnar op recording)
+        #: that produce byte-identical traces, store effects, and
+        #: return arrays without the small-array numpy overhead.
+        self._one = self.n == 1
+        self._lane0 = int(lanes[0]) if self._one else -1
 
     # -- parameters ------------------------------------------------------
     def param_i64(self, i: int) -> np.ndarray:
+        if self._one:
+            return np.array((self.params[0][i],), dtype=np.int64)
         return np.fromiter((p[i] for p in self.params), np.int64, self.n)
 
     def param_obj(self, i: int) -> np.ndarray:
@@ -454,6 +742,8 @@ class WaveContext:
         return out
 
     def param_bool(self, i: int) -> np.ndarray:
+        if self._one:
+            return np.array((bool(self.params[0][i]),), dtype=bool)
         return np.fromiter((bool(p[i]) for p in self.params), bool, self.n)
 
     # -- mask plumbing ---------------------------------------------------
@@ -463,15 +753,40 @@ class WaveContext:
     def _record(self, kind: int, m: np.ndarray, **kw: Any) -> None:
         self.recorder.record(kind, self.lanes[m], self.type_id, **kw)
 
+    def _on1(self, mask: Optional[np.ndarray]) -> bool:
+        """Single-lane ``_mask(mask).all()`` without the array ops."""
+        if not self.active[0]:
+            return False
+        return mask is None or bool(mask[0])
+
     # -- ops -------------------------------------------------------------
     def set_branch(self) -> None:
         """The registry wrapper's leading ``SetBranch(type_id)`` op."""
+        if self._one:
+            if self.active[0]:
+                self.recorder.record_scalar(
+                    op_ir.SET_BRANCH, self._lane0, self.type_id
+                )
+            return
         self._record(op_ir.SET_BRANCH, self._mask(None))
 
     def index_probe(
         self, index: str, keys: Sequence[Any], mask: Optional[np.ndarray] = None
     ) -> np.ndarray:
         """Probe a unique index or static map; -1 encodes a miss."""
+        if self._one:
+            if not self._on1(mask):
+                return np.full(1, -1, dtype=np.int64)
+            k = keys[0]
+            if isinstance(k, np.generic):
+                k = k.item()
+            row = self.store.probe_unique1(index, k)
+            base = int(self.store.probe_cost_base1(index, k))
+            self.recorder.record_scalar(
+                op_ir.INDEX_PROBE, self._lane0, self.type_id,
+                addr=(base, base + 8),
+            )
+            return np.array((row,), dtype=np.int64)
         m = self._mask(mask)
         if m.all():
             keys_m: Sequence[Any] = keys
@@ -494,6 +809,19 @@ class WaveContext:
         self, index: str, keys: Sequence[Any], mask: Optional[np.ndarray] = None
     ) -> List[List[int]]:
         """Probe a multi index; returns per-lane row lists."""
+        if self._one:
+            if not self._on1(mask):
+                return [[]]
+            k = keys[0]
+            if isinstance(k, np.generic):
+                k = k.item()
+            rows = self.store.probe_multi1(index, k)
+            base = int(self.store.probe_cost_base1(index, k))
+            self.recorder.record_scalar(
+                op_ir.INDEX_PROBE, self._lane0, self.type_id,
+                addr=(base, base + 8),
+            )
+            return [rows]
         m = self._mask(mask)
         idx = np.flatnonzero(m)
         out: List[List[int]] = [[] for _ in range(self.n)]
@@ -516,6 +844,13 @@ class WaveContext:
         rows: np.ndarray,
         mask: Optional[np.ndarray] = None,
     ) -> np.ndarray:
+        if self._one:
+            if not self._on1(mask):
+                return np.zeros(1)
+            row_enc = int(rows[0])
+            out = self.store.gather1(table, column, row_enc)
+            self._record_mem1(op_ir.READ, table, column, row_enc)
+            return out
         m = self._mask(mask)
         if m.all():
             out = self.store.gather(table, column, rows)
@@ -548,12 +883,48 @@ class WaveContext:
         staged as handle writes instead of scattered -- the replay
         applies them once the insert materialises.
         """
+        if self._one:
+            if not self._on1(mask):
+                return
+            rows_arr = np.asarray(rows)
+            values_arr = np.asarray(values)
+            row_enc = int(rows_arr[0])
+            if self.capture is not None and self.capture[0]:
+                old = self.store.gather1(table, column, row_enc).tolist()[0]
+                self.undo[0].append((table, column, row_enc, old))
+            if row_enc >= HANDLE_BASE:
+                if table not in self.store.mutating_tables:
+                    raise ValueError(
+                        f"write of staged rows into non-mutating table "
+                        f"{table!r}"
+                    )
+                self.store.stage_handle_write(
+                    table, column, row_enc - HANDLE_BASE, values_arr[0]
+                )
+            else:
+                self.store.adapter.scatter_bulk(
+                    table, column, rows_arr[0:1], values_arr[0:1]
+                )
+            self._record_mem1(op_ir.WRITE, table, column, row_enc)
+            return
         m = self._mask(mask)
         idx = np.flatnonzero(m)
         if len(idx) == 0:
             return
         rows_m = np.asarray(rows)[idx]
         values_m = np.asarray(values)[idx]
+        if self.capture is not None and self.capture[idx].any():
+            # Bulk before-image capture: one overlay-aware gather for
+            # the whole step, then per-lane appends in lane order --
+            # the entries (and their order) match the interpreter's
+            # per-row ``t.undo.append`` exactly. ``.tolist()`` converts
+            # numpy scalars at the edge, as ColumnTable.write does.
+            olds = self.store.gather(table, column, rows_m).tolist()
+            for j, i in enumerate(idx):
+                if self.capture[i]:
+                    self.undo[i].append(
+                        (table, column, int(rows_m[j]), olds[j])
+                    )
         handles = rows_m >= HANDLE_BASE
         if handles.any():
             if table not in self.store.mutating_tables:
@@ -592,10 +963,41 @@ class WaveContext:
             addr, width = info.addresses(column, rows_m)
             self._record(kind, m, addr=addr, width=width)
 
+    def _record_mem1(
+        self, kind: int, table: str, column: str, row_enc: int
+    ) -> None:
+        """Single-lane :meth:`_record_mem` on plain ints."""
+        info = self.store.addressing(table)
+        if table in self.store.mutating_tables:
+            width = info.columns[column][1]
+            self.recorder.record_scalar(
+                kind, self._lane0, self.type_id, width=width,
+                deferred=(table, column, row_enc),
+            )
+        else:
+            pre_w, width = info.columns[column]
+            addr = info.base + pre_w * (info.n_rows or 1) + row_enc * width
+            self.recorder.record_scalar(
+                kind, self._lane0, self.type_id, addr=addr, width=width
+            )
+
     def compute(self, amount: int, mask: Optional[np.ndarray] = None) -> None:
+        if self._one:
+            if self._on1(mask):
+                self.recorder.record_scalar(
+                    op_ir.COMPUTE, self._lane0, self.type_id, amount=amount
+                )
+            return
         self._record(op_ir.COMPUTE, self._mask(mask), amount=amount)
 
     def sfu(self, amount: int, mask: Optional[np.ndarray] = None) -> None:
+        if self._one:
+            if self._on1(mask):
+                self.recorder.record_scalar(
+                    op_ir.SFU_COMPUTE, self._lane0, self.type_id,
+                    amount=amount,
+                )
+            return
         self._record(op_ir.SFU_COMPUTE, self._mask(mask), amount=amount)
 
     def insert(
@@ -605,6 +1007,21 @@ class WaveContext:
         mask: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Stage one insert per masked lane; returns encoded handles."""
+        if self._one:
+            out = np.full(1, -1, dtype=np.int64)
+            if not self._on1(mask):
+                return out
+            handle = self.store.stage_insert(table, values_rows[0])
+            if self.capture is not None and self.capture[0]:
+                self.undo[0].append(
+                    (tx_logging.INSERT_SENTINEL, table, int(handle), None)
+                )
+            out[0] = handle
+            self.recorder.record_scalar(
+                op_ir.INSERT_ROW, self._lane0, self.type_id,
+                table=table, payload=int(handle),
+            )
+            return out
         m = self._mask(mask)
         idx = np.flatnonzero(m)
         out = np.full(self.n, -1, dtype=np.int64)
@@ -613,6 +1030,14 @@ class WaveContext:
         handles = np.empty(len(idx), dtype=np.int64)
         for j, i in enumerate(idx):
             handles[j] = self.store.stage_insert(table, values_rows[i])
+            if self.capture is not None and self.capture[i]:
+                # Interpreter entry: (INSERT_SENTINEL, table, row, None)
+                # with the provisional row id; recorded here under the
+                # encoded handle and remapped once the replay
+                # materialises the insert.
+                self.undo[i].append(
+                    (tx_logging.INSERT_SENTINEL, table, int(handles[j]), None)
+                )
         out[m] = handles
         self._record(op_ir.INSERT_ROW, m, table=table, payload=handles)
         return out
@@ -623,18 +1048,47 @@ class WaveContext:
         rows: np.ndarray,
         mask: Optional[np.ndarray] = None,
     ) -> None:
+        if self._one:
+            if not self._on1(mask):
+                return
+            row_enc = int(rows[0])
+            self.store.stage_delete(table, row_enc)
+            if self.capture is not None and self.capture[0]:
+                self.undo[0].append(
+                    (tx_logging.DELETE_SENTINEL, table, row_enc, None)
+                )
+            self.recorder.record_scalar(
+                op_ir.DELETE_ROW, self._lane0, self.type_id,
+                table=table, payload=row_enc,
+            )
+            return
         m = self._mask(mask)
         idx = np.flatnonzero(m)
         if len(idx) == 0:
             return
         rows_m = np.asarray(rows)[idx].astype(np.int64)
-        for r in rows_m:
-            self.store.stage_delete(table, int(r))
+        for j, i in enumerate(idx):
+            self.store.stage_delete(table, int(rows_m[j]))
+            if self.capture is not None and self.capture[i]:
+                self.undo[i].append(
+                    (tx_logging.DELETE_SENTINEL, table, int(rows_m[j]), None)
+                )
         self._record(op_ir.DELETE_ROW, m, table=table, payload=rows_m)
 
     # -- control flow ----------------------------------------------------
     def abort_where(self, cond: np.ndarray, reason: str) -> None:
         """Abort the active lanes where ``cond`` holds."""
+        if self._one:
+            if not (self.active[0] and cond[0]):
+                return
+            if self.record_abort_ops:
+                self.recorder.record_scalar(
+                    op_ir.ABORT, self._lane0, self.type_id
+                )
+            self.committed[0] = False
+            self.abort_reason[0] = reason
+            self.active[0] = False
+            return
         m = self.active & cond
         if not m.any():
             return
@@ -648,6 +1102,15 @@ class WaveContext:
     def finish_where(self, mask: np.ndarray, values: Any) -> None:
         """Lanes in ``mask`` return ``values`` (per-lane sequence or a
         shared scalar) and leave the kernel."""
+        if self._one:
+            if not (self.active[0] and mask[0]):
+                return
+            if np.isscalar(values) or values is None:
+                self.results[0] = values
+            else:
+                self.results[0] = values[0]
+            self.active[0] = False
+            return
         m = self.active & mask
         if not m.any():
             return

@@ -84,6 +84,7 @@ class PartExecutor(StrategyExecutor):
                 primitives=self.primitives,
                 pcie=self.pcie,
                 use_undo_logging=self.use_undo_logging,
+                backend=self.backend,
             )
             result = fallback.execute(transactions)
             return ExecutionResult(

@@ -53,12 +53,13 @@ class TplExecutor(StrategyExecutor):
     """Two-phase locking with deterministic counter locks."""
 
     name = "tpl"
-    #: TPL never routes through the execution-backend registry: spin
-    #: iterations, lock-word atomics, and reader-run countdowns are
-    #: contention effects that emerge from the lockstep interpreter's
-    #: round-by-round scheduling -- there is no closed trace form for
-    #: the vectorized replay to evaluate (see repro.core.backends).
-    uses_backend = False
+    #: TPL routes through the execution-backend registry: counter-lock
+    #: pass rounds are a deterministic function of the release
+    #: schedule, which the vectorized backend derives in closed form
+    #: (repro.core.backends.lockstep) -- spin iterations, lock-word
+    #: atomics, and reader-run countdowns included, byte-identical to
+    #: the interpreter.
+    uses_backend = True
 
     def __init__(self, *args, grouping_passes: int = 0, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -96,11 +97,11 @@ class TplExecutor(StrategyExecutor):
 
         # ---- kernel ----------------------------------------------------
         access_map = {txn_id: accesses for txn_id, accesses in access_lists}
-        tasks = [
-            self._locked_task(txn, access_map[txn.txn_id], lock_of, keys)
+        plans = [
+            self._lock_plan(txn, access_map[txn.txn_id], lock_of, keys)
             for txn in ordered
         ]
-        report = self.engine.launch(tasks, self.adapter, locks=locks)
+        report = self.backend.launch_locked(self, ordered, plans, locks)
         breakdown.add(PHASE_EXECUTION, report.seconds)
 
         # ---- recovery (aborts + TPL cascade) ---------------------------
@@ -131,14 +132,15 @@ class TplExecutor(StrategyExecutor):
         )
         return [transactions[i] for i in order], cost
 
-    def _locked_task(
-        self,
+    @staticmethod
+    def _lock_plan(
         txn: Transaction,
         accesses: Sequence[Access],
         lock_of: Dict[int, int],
         keys: Dict[Tuple[int, int], Tuple[int, bool]],
-    ) -> ThreadTask:
-        """Wrap the stored procedure with the two locking phases."""
+    ) -> List[Tuple[int, int, bool]]:
+        """The transaction's ``(lock, key, shared)`` plan, merged item
+        order -- the order both locking phases walk."""
         merged: Dict[int, bool] = {}
         for acc in accesses:
             merged[acc.item] = merged.get(acc.item, False) or acc.write
@@ -146,6 +148,12 @@ class TplExecutor(StrategyExecutor):
         for item in sorted(merged):
             key, shared = keys[(item, txn.txn_id)]
             plan.append((lock_of[item], key, shared))
+        return plan
+
+    def locked_task(
+        self, txn: Transaction, plan: Sequence[Tuple[int, int, bool]]
+    ) -> ThreadTask:
+        """Wrap the stored procedure with the two locking phases."""
         inner = self.registry.build_stream(txn.type_name, txn.params)
 
         def stream():

@@ -285,16 +285,21 @@ class SetBranch(Op):
 OpStream = Generator[Op, Any, None]
 
 #: Op kinds the vectorized execution backend can express and replay
-#: exactly (repro.core.backends). Lock and raw-atomic ops are absent
-#: by design: a K-SET wave is conflict-free and PART serialises within
-#: partitions, so neither strategy emits them -- and contended locks
-#: are precisely what only the lockstep interpreter can model.
+#: exactly (repro.core.backends). Raw-atomic ops (AtomicAdd/AtomicCAS)
+#: and the basic 0/1 spin lock stay interpreter-only: their outcomes
+#: depend on CAS races the closed form cannot predict. Counter locks
+#: (LOCK_ACQUIRE with a key, LOCK_RELEASE) *are* vectorizable: the
+#: rank gates make every pass round a deterministic function of the
+#: release schedule, which the lockstep scheduler
+#: (repro.core.backends.lockstep) derives in closed form.
 VECTORIZABLE_KINDS = frozenset(
     {
         READ,
         WRITE,
         COMPUTE,
         SFU_COMPUTE,
+        LOCK_ACQUIRE,
+        LOCK_RELEASE,
         INDEX_PROBE,
         INSERT_ROW,
         DELETE_ROW,

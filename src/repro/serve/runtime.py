@@ -163,8 +163,9 @@ class ServeRuntime:
 
     # ------------------------------------------------------------------
     def _admit_until(self, stream: ArrivalStream, clock: float) -> None:
-        for arrival in stream.pop_until(clock):
-            self.admission.offer(arrival, self.engine.pool)
+        self.admission.offer_batch(
+            stream.pop_until(clock), self.engine.pool
+        )
 
     def _probe_strategy(self, target: int) -> Optional[str]:
         """Predict the chooser's pick for the current queue head."""

@@ -9,6 +9,7 @@ every execution strategy against the serial-by-timestamp oracle
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -121,6 +122,65 @@ BANK_PROCEDURES = [
         two_phase=False,  # aborts after writing -> undo logging
         conflict_classes=frozenset({ACCOUNTS}),
     ),
+]
+
+
+# ---------------------------------------------------------------------------
+# Vector forms of the bank procedures: the same op streams, authored as
+# batched column kernels. BANK_VECTOR_PROCEDURES keeps them on separate
+# type objects so fallback tests can still rely on BANK_PROCEDURES
+# having no vector form.
+# ---------------------------------------------------------------------------
+def _v_deposit(ctx) -> None:
+    account = ctx.param_i64(0)
+    amount = ctx.param_i64(1)
+    balance = ctx.read(ACCOUNTS, "balance", account)
+    ctx.compute(4)
+    ctx.write(ACCOUNTS, "balance", account, balance + amount)
+    ctx.finish([int(v) for v in balance + amount])
+
+
+def _v_transfer(ctx) -> None:
+    src = ctx.param_i64(0)
+    dst = ctx.param_i64(1)
+    amount = ctx.param_i64(2)
+    src_balance = ctx.read(ACCOUNTS, "balance", src)
+    ctx.abort_where(src_balance < amount, "insufficient funds")
+    dst_balance = ctx.read(ACCOUNTS, "balance", dst)
+    ctx.write(ACCOUNTS, "balance", src, src_balance - amount)
+    ctx.write(ACCOUNTS, "balance", dst, dst_balance + amount)
+    ctx.finish([int(v) for v in src_balance - amount])
+
+
+def _v_audit(ctx) -> None:
+    account = ctx.param_i64(0)
+    balance = ctx.read(ACCOUNTS, "balance", account)
+    version = ctx.read(ACCOUNTS, "version", account)
+    ctx.finish([(int(b), int(v)) for b, v in zip(balance, version)])
+
+
+def _v_risky(ctx) -> None:
+    account = ctx.param_i64(0)
+    amount = ctx.param_i64(1)
+    fail = ctx.param_i64(2)
+    balance = ctx.read(ACCOUNTS, "balance", account)
+    ctx.write(ACCOUNTS, "balance", account, balance + amount)
+    version = ctx.read(ACCOUNTS, "version", account)
+    ctx.write(ACCOUNTS, "version", account, version + 1)
+    ctx.abort_where(fail != 0, "post-write failure")
+    ctx.finish([int(v) for v in balance + amount])
+
+
+_VECTOR_BODIES = {
+    "deposit": _v_deposit,
+    "transfer": _v_transfer,
+    "audit": _v_audit,
+    "risky": _v_risky,
+}
+
+BANK_VECTOR_PROCEDURES = [
+    dataclasses.replace(t, vector_body=_VECTOR_BODIES[t.name])
+    for t in BANK_PROCEDURES
 ]
 
 

@@ -12,6 +12,7 @@ because partitioned tables have shard-local physical row ids (global
 row positions are meaningless across shards).
 """
 
+import dataclasses
 from typing import List, Tuple
 
 import numpy as np
@@ -124,6 +125,67 @@ LEDGER_PROCEDURES = [
         two_phase=False,
         conflict_classes=frozenset({LEDGER}),
     ),
+]
+
+
+# Vector forms of the ledger procedures (same op streams as batched
+# column kernels), on separate type objects so interpreter-only tests
+# keep exercising the fallback path. test_durability_properties uses
+# them to compare WAL capture across backends.
+def _v_deposit(ctx) -> None:
+    row = ctx.index_probe("accounts_pk", ctx.param_i64(0))
+    ctx.abort_where(row < 0, "no such account")
+    amount = ctx.param_i64(1)
+    balance = ctx.read(LEDGER, "balance", row)
+    ctx.compute(4)
+    ctx.write(LEDGER, "balance", row, balance + amount)
+    ctx.finish([int(v) for v in balance + amount])
+
+
+def _v_transfer(ctx) -> None:
+    src_row = ctx.index_probe("accounts_pk", ctx.param_i64(0))
+    ctx.abort_where(src_row < 0, "no source")
+    dst_row = ctx.index_probe("accounts_pk", ctx.param_i64(1))
+    ctx.abort_where(dst_row < 0, "no destination")
+    amount = ctx.param_i64(2)
+    src_balance = ctx.read(LEDGER, "balance", src_row)
+    ctx.abort_where(src_balance < amount, "insufficient funds")
+    dst_balance = ctx.read(LEDGER, "balance", dst_row)
+    ctx.write(LEDGER, "balance", src_row, src_balance - amount)
+    ctx.write(LEDGER, "balance", dst_row, dst_balance + amount)
+    ctx.finish([int(v) for v in src_balance - amount])
+
+
+def _v_audit(ctx) -> None:
+    row = ctx.index_probe("accounts_pk", ctx.param_i64(0))
+    ctx.abort_where(row < 0, "no such account")
+    balance = ctx.read(LEDGER, "balance", row)
+    version = ctx.read(LEDGER, "version", row)
+    ctx.finish([(int(b), int(v)) for b, v in zip(balance, version)])
+
+
+def _v_reconcile(ctx) -> None:
+    row_a = ctx.index_probe("accounts_pk", ctx.param_i64(0))
+    row_b = ctx.index_probe("accounts_pk", ctx.param_i64(1))
+    balance_a = ctx.read(LEDGER, "balance", row_a)
+    balance_b = ctx.read(LEDGER, "balance", row_b)
+    mean = (balance_a + balance_b) // 2
+    ctx.write(LEDGER, "balance", row_a, mean)
+    ctx.write(LEDGER, "balance", row_b, balance_a + balance_b - mean)
+    ctx.abort_where(ctx.param_i64(2) != 0, "post-write failure")
+    ctx.finish([int(v) for v in mean])
+
+
+_LEDGER_VECTOR_BODIES = {
+    "deposit": _v_deposit,
+    "transfer": _v_transfer,
+    "audit": _v_audit,
+    "reconcile": _v_reconcile,
+}
+
+LEDGER_VECTOR_PROCEDURES = [
+    dataclasses.replace(t, vector_body=_LEDGER_VECTOR_BODIES[t.name])
+    for t in LEDGER_PROCEDURES
 ]
 
 

@@ -1,0 +1,126 @@
+"""Property-based batched-admission equivalence.
+
+For arbitrary arrival streams -- random tenants, random types (routing
+single- and cross-shard), random controller configs (global cap, tenant
+quotas, per-shard caps), random batch boundaries, and drains between
+batches -- ``AdmissionController.offer_batch`` must produce identical
+admit/shed decisions, counters, tenant high-water marks, admitted log,
+``rejected_by_shard`` attribution, and pool contents as offering each
+arrival through ``offer`` in the same order.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.router import HashShardRouter
+from repro.core.procedure import ProcedureRegistry
+from repro.core.txn import TransactionPool
+from repro.serve.admission import AdmissionController
+from repro.serve.stream import Arrival
+
+from tests.conftest import BANK_PROCEDURES
+
+TENANTS = ("", "a", "b")
+
+
+def _registry() -> ProcedureRegistry:
+    registry = ProcedureRegistry()
+    registry.register_many(BANK_PROCEDURES)
+    return registry
+
+
+def _arrival_specs():
+    deposit = st.tuples(
+        st.just("deposit"), st.integers(0, 5).map(lambda a: (a, 5))
+    )
+    audit = st.tuples(
+        st.just("audit"), st.integers(0, 5).map(lambda a: (a,))
+    )
+    transfer = st.tuples(
+        st.just("transfer"),
+        st.tuples(st.integers(0, 5), st.integers(0, 5)).map(
+            lambda t: (t[0], t[1], 1)
+        ),
+    )
+    one = st.tuples(
+        st.one_of(deposit, audit, transfer), st.sampled_from(TENANTS)
+    )
+    return st.lists(one, min_size=0, max_size=40)
+
+
+def _configs():
+    quotas = st.one_of(
+        st.none(),
+        st.fixed_dictionaries(
+            {"a": st.integers(1, 4), "b": st.integers(1, 4)}
+        ),
+    )
+    return st.fixed_dictionaries(
+        {
+            "max_pending": st.integers(1, 20),
+            "quotas": quotas,
+            "per_shard": st.one_of(st.none(), st.integers(1, 4)),
+            "record": st.booleans(),
+        }
+    )
+
+
+def _build(config) -> AdmissionController:
+    kwargs = {
+        "max_pending": config["max_pending"],
+        "tenant_quotas": config["quotas"],
+        "record_admitted": config["record"],
+    }
+    if config["per_shard"] is not None:
+        kwargs.update(
+            max_pending_per_shard=config["per_shard"],
+            router=HashShardRouter(2),
+            registry=_registry(),
+        )
+    return AdmissionController(**kwargs)
+
+
+def _state(controller: AdmissionController, pool: TransactionPool):
+    return (
+        dataclasses.asdict(controller.stats),
+        [
+            (t.txn_id, t.type_name, t.params, t.submit_time)
+            for t in controller.admitted_log
+        ],
+        {t: controller.tenant_depth(t) for t in TENANTS if t},
+        dict(controller._shard_depth),
+        [(t.txn_id, t.type_name, t.params, t.submit_time) for t in pool],
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    specs=_arrival_specs(),
+    config=_configs(),
+    cuts=st.lists(st.integers(0, 40), max_size=4),
+    drain=st.integers(0, 6),
+)
+def test_offer_batch_matches_offer_loop(specs, config, cuts, drain):
+    arrivals = [
+        Arrival(name, params, i * 0.01, tenant)
+        for i, ((name, params), tenant) in enumerate(specs)
+    ]
+    bounds = sorted({0, len(arrivals), *[min(c, len(arrivals)) for c in cuts]})
+
+    def run(batched: bool):
+        controller = _build(config)
+        pool = TransactionPool()
+        fates = []
+        for lo, hi in zip(bounds, bounds[1:]):
+            chunk = arrivals[lo:hi]
+            if batched:
+                fates.extend(controller.offer_batch(chunk, pool))
+            else:
+                fates.extend(controller.offer(a, pool) for a in chunk)
+            if drain:
+                controller.note_executed(pool.take(drain))
+        return fates, _state(controller, pool)
+
+    assert run(batched=True) == run(batched=False)

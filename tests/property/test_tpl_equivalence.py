@@ -1,0 +1,205 @@
+"""Property-based TPL equivalence: closed-form lock schedule vs. interpreter.
+
+The vectorized backend derives TPL's counter-lock pass rounds in closed
+form (repro.core.backends.lockstep) instead of spinning round by round.
+The interpreter stays the oracle: for hypothesis-random bulks over
+TM1/TPC-C/SmallBank and abort-inducing bank mixes (non-two-phase
+aborters -> undo logs + Appendix D cascades), both backends must agree
+on *everything observable*:
+
+* per-transaction outcomes (commit/abort, reason, value),
+* the deferral sets and the cascaded-abort sets,
+* the simulated clock and every per-SM KernelStats figure,
+* the final ``Database.physical_state()``.
+
+The suite forces tpl directly, reaches it through part's tpl-fallback
+(cross-partition transactions), and checks both ``strict_vector``
+settings produce identical results.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import EngineOptions, GPUTx
+from repro.workloads import smallbank, tm1, tpcc
+
+from tests.conftest import BANK_VECTOR_PROCEDURES, build_bank_db
+from tests.property.test_backend_equivalence import (
+    _smallbank_db,
+    _smallbank_specs,
+    _tm1_specs,
+    _tpcc_db,
+    _tpcc_specs,
+    TM1_SUBS,
+)
+
+STATS_FIELDS = (
+    "issue_cycles",
+    "mem_transactions",
+    "mem_instructions",
+    "mem_bytes",
+    "atomic_cycles",
+    "resident_warps",
+    "ops_executed",
+    "divergent_serializations",
+    "spin_iterations",
+    "atomic_conflicts",
+    "rounds",
+    "threads_launched",
+    "threads_aborted",
+)
+
+BANK_ACCOUNTS = 6  # tiny account pool -> long reader runs + lock queues
+
+
+def _bank_specs():
+    account = st.integers(0, BANK_ACCOUNTS - 1)
+    deposit = st.tuples(
+        st.just("deposit"), st.tuples(account, st.integers(1, 50))
+    )
+    transfer = st.tuples(
+        st.just("transfer"),
+        st.tuples(account, account, st.integers(1, 200)),
+    )
+    audit = st.tuples(st.just("audit"), st.tuples(account))
+    # fail=1 aborts *after* writing (not two-phase): undo logs plus the
+    # Appendix D cascade through the T-dependency sub-DAG.
+    risky = st.tuples(
+        st.just("risky"),
+        st.tuples(account, st.integers(1, 20), st.integers(0, 1)),
+    )
+    return st.lists(
+        st.one_of(deposit, transfer, audit, risky), min_size=1, max_size=40
+    )
+
+
+def _run(build_db, procedures, specs, backend, strategy, strict=None,
+         **options):
+    db = build_db()
+    if strict is None:
+        strict = backend == "vectorized"
+    engine = GPUTx(
+        db,
+        procedures=procedures,
+        options=EngineOptions(backend=backend, strict_vector=strict),
+    )
+    engine.submit_many(specs)
+    bulks = [engine.run_bulk(strategy=strategy, **options)]
+    while len(engine.pool):
+        bulks.append(engine.run_bulk(strategy=strategy, **options))
+    observable = [
+        (
+            [(r.txn_id, r.committed, r.abort_reason, r.value)
+             for r in b.results],
+            sorted(t.txn_id for t in b.deferred),
+            b.seconds,
+            list(b.cascaded_aborts),
+        )
+        for b in bulks
+    ]
+    stats = [
+        tuple(getattr(rep.stats, f) for f in STATS_FIELDS)
+        for b in bulks
+        for rep in (b.kernel_reports or [])
+    ]
+    return db.physical_state(), observable, stats
+
+
+def _assert_equivalent(build_db, procedures, specs, strategy, **options):
+    state_i, obs_i, stats_i = _run(
+        build_db, procedures, specs, "interpreted", strategy, **options
+    )
+    state_v, obs_v, stats_v = _run(
+        build_db, procedures, specs, "vectorized", strategy, **options
+    )
+    assert obs_i == obs_v
+    assert stats_i == stats_v
+    assert state_i == state_v
+
+
+class TestWorkloadTpl:
+    """Forced TPL over the three acceptance workloads."""
+
+    @settings(max_examples=35, deadline=None)
+    @given(specs=_tm1_specs())
+    def test_tm1(self, specs):
+        _assert_equivalent(
+            lambda: tm1.build_database(1, subscribers_per_sf=TM1_SUBS, seed=3),
+            tm1.PROCEDURES,
+            specs,
+            "tpl",
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(specs=_tpcc_specs())
+    def test_tpcc(self, specs):
+        _assert_equivalent(_tpcc_db, tpcc.PROCEDURES, specs, "tpl")
+
+    @settings(max_examples=35, deadline=None)
+    @given(specs=_smallbank_specs())
+    def test_smallbank(self, specs):
+        _assert_equivalent(_smallbank_db, smallbank.PROCEDURES, specs, "tpl")
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs=_smallbank_specs(), passes=st.sampled_from([1, 2]))
+    def test_smallbank_grouped(self, specs, passes):
+        """Type grouping (Appendix D) permutes thread order; the
+        schedule must still match the interpreter's exactly."""
+        _assert_equivalent(
+            _smallbank_db, smallbank.PROCEDURES, specs, "tpl",
+            grouping_passes=passes,
+        )
+
+
+class TestAbortMixes:
+    """Non-two-phase aborters: undo capture + cascaded rollback."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(specs=_bank_specs())
+    def test_bank_abort_heavy_tpl(self, specs):
+        _assert_equivalent(
+            lambda: build_bank_db(BANK_ACCOUNTS),
+            BANK_VECTOR_PROCEDURES,
+            specs,
+            "tpl",
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(specs=_bank_specs())
+    def test_bank_part_reaches_tpl_fallback(self, specs):
+        """Bulks with a cross-partition transfer force part's
+        tpl-fallback; the delegated executor must use the same
+        backend (and stay byte-identical)."""
+        specs = list(specs) + [("transfer", (0, BANK_ACCOUNTS - 1, 10))]
+        _assert_equivalent(
+            lambda: build_bank_db(BANK_ACCOUNTS),
+            BANK_VECTOR_PROCEDURES,
+            specs,
+            "part",
+        )
+
+
+class TestStrictVectorSettings:
+    @settings(max_examples=20, deadline=None)
+    @given(specs=_bank_specs())
+    def test_strict_on_and_off_identical(self, specs):
+        """strict_vector only arms the fallback error; with a fully
+        vectorizable bulk both settings take the same code path and
+        every observable matches the interpreter."""
+        base = _run(
+            lambda: build_bank_db(BANK_ACCOUNTS),
+            BANK_VECTOR_PROCEDURES,
+            specs,
+            "interpreted",
+            "tpl",
+        )
+        for strict in (True, False):
+            got = _run(
+                lambda: build_bank_db(BANK_ACCOUNTS),
+                BANK_VECTOR_PROCEDURES,
+                specs,
+                "vectorized",
+                "tpl",
+                strict=strict,
+            )
+            assert got == base

@@ -129,21 +129,24 @@ class TestRegistryAndOptions:
         assert twin.backend.name == "vectorized"
         assert twin.options == engine.options
 
-    def test_lock_strategies_stay_interpreted(self):
-        """TPL routes through the interpreter even on a vectorized
-        engine -- only the interpreter models spin locks."""
+    def test_lock_strategies_vectorize(self):
+        """TPL routes through the vectorized backend: counter-lock
+        pass rounds are derived in closed form (lockstep), no
+        interpreter fallback."""
         db = micro.build_database(64)
         engine = GPUTx(
             db,
             procedures=micro.build_procedures(2),
-            options=EngineOptions(backend="vectorized"),
+            options=EngineOptions(backend="vectorized", strict_vector=True),
         )
         engine.submit_many(
             micro.generate_transactions(24, n_tuples=64, n_branches=2)
         )
         result = engine.run_bulk(strategy="tpl")
-        assert result.backend == "interpreted"
+        assert result.backend == "vectorized"
         assert result.committed == 24
+        assert engine.backend.waves_vectorized > 0
+        assert engine.backend.waves_interpreted == 0
 
 
 class TestExactEquivalence:
@@ -246,7 +249,9 @@ class TestFallback:
         engine = GPUTx(
             db,
             procedures=BANK_PROCEDURES,
-            options=EngineOptions(backend="vectorized"),
+            # Pin the permissive mode: this test is *about* the silent
+            # fallback, which CI's strict-vector lane otherwise forbids.
+            options=EngineOptions(backend="vectorized", strict_vector=False),
         )
         for i in range(12):
             engine.submit("deposit", (i % 16, 5))
@@ -271,7 +276,7 @@ class TestFallback:
         engine = GPUTx(
             db,
             procedures=micro.build_procedures(2),
-            options=EngineOptions(backend="vectorized"),
+            options=EngineOptions(backend="vectorized", strict_vector=False),
         )
         engine.submit_many(
             micro.generate_transactions(16, n_tuples=32, n_branches=2)

@@ -1,0 +1,103 @@
+"""Tier-1 guard for the bench figure registry.
+
+The perf-trajectory lane (``scripts/bench_compare.py``) and the smoke
+lane both trust :func:`repro.bench.harness.trajectory_figures` to
+enumerate every figure, but those lanes run as separate CI jobs — a
+registry regression (a figure dropped in a refactor, two modules
+claiming one id, a figure that stopped returning a
+:class:`FigureResult`) would only surface there, hours after the
+offending merge. This file keeps the registry itself, plus the
+cheapest figure of each bench module, inside the default test run.
+
+Only figures that finish in a few seconds under ``REPRO_BENCH_SMOKE=1``
+are executed here; the expensive ones stay exclusive to the smoke lane
+(``benchmarks/test_bench_smoke.py``).
+"""
+
+import pytest
+
+from repro.bench.harness import (
+    FigureResult,
+    headline_metric,
+    trajectory_figures,
+)
+
+#: One id per bench module (where affordable), all sub-5s under smoke.
+CHEAP_FIGURES = (
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "cluster_pipeline",
+    "cluster_elastic_skew_shift",
+    "scenario_noisy_neighbor_isolation",
+    "durability_overhead",
+    "serving_admission_sweep",
+)
+
+#: Ids the perf-trajectory baseline depends on by name; losing any of
+#: these silently drops a gated metric from bench_compare.py.
+LOAD_BEARING_IDS = (
+    "BACKEND-1",
+    "BACKEND-2",
+    "BACKEND-3",
+    "SMALLBANK-1",
+    "cluster_cross_shard",
+    "cluster_parallel_commit",
+    "durability_overhead",
+    "failover_recovery",
+    "scenario_noisy_neighbor_isolation",
+    "serving_adaptive_vs_fixed",
+    "serving_admission_sweep",
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return trajectory_figures()
+
+
+class TestRegistry:
+    def test_enumerates_every_bench_family(self, registry):
+        assert len(registry) >= 32
+        for figure_id in LOAD_BEARING_IDS:
+            assert figure_id in registry, figure_id
+
+    def test_every_entry_is_a_zero_arg_callable(self, registry):
+        import inspect
+
+        for figure_id, fn in registry.items():
+            assert callable(fn), figure_id
+            required = [
+                p
+                for p in inspect.signature(fn).parameters.values()
+                if p.default is inspect.Parameter.empty
+                and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+            ]
+            assert not required, f"{figure_id} takes required args"
+
+    def test_cheap_set_is_registered(self, registry):
+        missing = [f for f in CHEAP_FIGURES if f not in registry]
+        assert not missing, missing
+
+
+@pytest.mark.parametrize("figure_id", CHEAP_FIGURES)
+def test_cheap_figures_run_under_smoke(figure_id, registry, monkeypatch,
+                                       capsys):
+    monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+    result = registry[figure_id]()
+    capsys.readouterr()  # figures narrate; keep the test output clean
+    assert isinstance(result, FigureResult), figure_id
+    assert result.rows, f"{figure_id} produced no rows"
+    assert all(len(row) == len(result.columns) for row in result.rows)
+    headline = headline_metric(result)
+    if headline is not None:
+        name, value = headline
+        assert isinstance(name, str) and name
+        assert value == value  # not NaN

@@ -1,11 +1,19 @@
-"""Unit tests for arrival streams and the arrival-time generators."""
+"""Unit tests for arrival streams, the arrival-time generators, and
+batched admission (offer_batch == the per-arrival offer loop)."""
+
+import dataclasses
 
 import numpy as np
 import pytest
 
+from repro.cluster.router import HashShardRouter
+from repro.core.procedure import ProcedureRegistry
+from repro.core.txn import TransactionPool
 from repro.errors import ServeError
+from repro.serve.admission import AdmissionController
 from repro.serve.stream import Arrival, ArrivalStream
 from repro.workloads import tm1
+from tests.conftest import BANK_PROCEDURES
 from repro.workloads.base import (
     bursty_arrival_times,
     diurnal_arrival_times,
@@ -186,6 +194,139 @@ class TestArrivalTimes:
         assert triples == [("a", (1,), 0.1), ("b", (2,), 0.2)]
         with pytest.raises(ValueError):
             timed_specs(specs, np.array([0.1]))
+
+
+def _bank_registry() -> ProcedureRegistry:
+    registry = ProcedureRegistry()
+    registry.register_many(BANK_PROCEDURES)
+    return registry
+
+
+def _controller_state(controller: AdmissionController, pool: TransactionPool):
+    """Everything observable about a controller + pool, for equality."""
+    return (
+        dataclasses.asdict(controller.stats),
+        [
+            (t.txn_id, t.type_name, t.params, t.submit_time)
+            for t in controller.admitted_log
+        ],
+        {t: controller.tenant_depth(t) for t in ("", "a", "b", "c")},
+        dict(controller._shard_depth),
+        [
+            (t.txn_id, t.type_name, t.params, t.submit_time)
+            for t in pool
+        ],
+    )
+
+
+def _run_both(arrivals, **controller_kwargs):
+    """Offer the same stream one-by-one and as one batch; return both
+    final states plus the per-arrival decisions."""
+    loop = AdmissionController(**controller_kwargs)
+    loop_pool = TransactionPool()
+    loop_fates = [loop.offer(a, loop_pool) for a in arrivals]
+    batched = AdmissionController(**controller_kwargs)
+    batch_pool = TransactionPool()
+    batch_fates = batched.offer_batch(list(arrivals), batch_pool)
+    return (
+        loop_fates,
+        batch_fates,
+        _controller_state(loop, loop_pool),
+        _controller_state(batched, batch_pool),
+    )
+
+
+class TestOfferBatchEquivalence:
+    """offer_batch must be decision- and accounting-identical to the
+    per-arrival offer loop -- including the closed-form untenanted
+    fast path and the quota/shard walking path."""
+
+    def _arrivals(self, n=20, tenants=("",), with_transfers=False):
+        out = []
+        for i in range(n):
+            tenant = tenants[i % len(tenants)]
+            if with_transfers and i % 3 == 0:
+                out.append(
+                    Arrival("transfer", (i % 4, (i + 1) % 4, 1), i * 0.1,
+                            tenant)
+                )
+            else:
+                out.append(Arrival("deposit", (i % 4, 5), i * 0.1, tenant))
+        return out
+
+    def test_global_cap_fast_path(self):
+        loop_fates, batch_fates, loop_state, batch_state = _run_both(
+            self._arrivals(20), max_pending=7, record_admitted=True
+        )
+        assert batch_fates == loop_fates
+        assert batch_state == loop_state
+        assert batch_fates == [True] * 7 + [False] * 13
+
+    def test_tenant_quotas_walk_the_slice(self):
+        loop_fates, batch_fates, loop_state, batch_state = _run_both(
+            self._arrivals(24, tenants=("a", "b", "c")),
+            max_pending=100,
+            tenant_quotas={"a": 2, "b": 5},
+            record_admitted=True,
+        )
+        assert batch_fates == loop_fates
+        assert batch_state == loop_state
+        # Quota rejections actually happened (tenant "a" over its 2).
+        assert not all(batch_fates)
+
+    def test_tenanted_without_quotas_keeps_accounting(self):
+        """Tenant high-water marks and splits are tracked even without
+        quotas, so tenanted batches cannot take the closed form."""
+        loop_fates, batch_fates, loop_state, batch_state = _run_both(
+            self._arrivals(12, tenants=("a", "b")), max_pending=5
+        )
+        assert batch_fates == loop_fates
+        assert batch_state == loop_state
+
+    def test_per_shard_caps_and_attribution(self):
+        kwargs = dict(
+            max_pending=100,
+            max_pending_per_shard=2,
+            router=HashShardRouter(2),
+            registry=_bank_registry(),
+        )
+        loop_fates, batch_fates, loop_state, batch_state = _run_both(
+            self._arrivals(16, with_transfers=True), **kwargs
+        )
+        assert batch_fates == loop_fates
+        assert batch_state == loop_state
+        # rejected_by_shard blamed a shard at least once.
+        assert loop_state[0]["rejected_by_shard"]
+
+    def test_empty_batch_is_a_noop(self):
+        controller = AdmissionController(max_pending=4)
+        pool = TransactionPool()
+        assert controller.offer_batch([], pool) == []
+        assert controller.stats.offered == 0
+
+    def test_interleaved_batches_and_drains(self):
+        """Batch boundaries must not matter: offering in slices with
+        pool drains between them matches the loop doing the same."""
+        arrivals = self._arrivals(30, tenants=("", "a"))
+        cuts = [0, 9, 10, 23, 30]
+
+        def run(batched: bool):
+            controller = AdmissionController(
+                max_pending=6, tenant_quotas={"a": 3},
+                record_admitted=True,
+            )
+            pool = TransactionPool()
+            fates = []
+            for lo, hi in zip(cuts, cuts[1:]):
+                chunk = arrivals[lo:hi]
+                if batched:
+                    fates.extend(controller.offer_batch(chunk, pool))
+                else:
+                    fates.extend(controller.offer(a, pool) for a in chunk)
+                controller.note_executed(pool.take(4))
+            return fates, _controller_state(controller, pool)
+
+        assert run(batched=True) == run(batched=False)
 
 
 class TestTm1TimedGeneration:
